@@ -1,0 +1,96 @@
+// Command calibrate prints both throughput normalizations (vs the
+// baseline-memory alone run, and vs the same-config alone run — the
+// literal §5 formula) for a benchmark subset across the main system
+// configurations. It exists to document how the workload models were
+// calibrated against the paper's reported numbers; see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"hetsim"
+)
+
+func main() {
+	benches := flag.String("benchmarks", "libquantum,leslie3d,mcf,lbm,bzip2,sjeng", "subset")
+	scaleName := flag.String("scale", "test", "test|bench|paper")
+	cores := flag.Int("cores", 8, "core count")
+	flag.Parse()
+
+	var scale hetsim.Scale
+	switch *scaleName {
+	case "test":
+		scale = hetsim.TestScale()
+	case "bench":
+		scale = hetsim.BenchScale()
+	case "paper":
+		scale = hetsim.PaperScale()
+	default:
+		fmt.Fprintln(os.Stderr, "unknown scale")
+		os.Exit(2)
+	}
+
+	configs := []hetsim.Config{
+		hetsim.Baseline(*cores),
+		hetsim.HomogeneousRLDRAM3(*cores),
+		hetsim.HomogeneousLPDDR2(*cores),
+		hetsim.RD(*cores),
+		hetsim.RL(*cores),
+		hetsim.DL(*cores),
+	}
+	list := strings.Split(*benches, ",")
+
+	type row struct{ vsBase, vsSelf float64 }
+	sums := map[string][]row{}
+	base := map[string]hetsim.Results{}
+	for _, b := range list {
+		r, err := hetsim.RunPair(configs[0], b, scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		base[b] = r
+	}
+	fmt.Printf("%-14s %-12s %10s %10s %8s %8s\n", "config", "bench", "T/Tbase", "WSself/b", "critLat", "sumIPC")
+	for _, cfg := range configs {
+		for _, b := range list {
+			r, err := hetsim.RunPair(cfg, b, scale)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			vsBase := r.Throughput / base[b].Throughput
+			vsSelf := r.ThroughputSelf / base[b].ThroughputSelf
+			sums[cfg.Name] = append(sums[cfg.Name], row{vsBase, vsSelf})
+			fmt.Printf("%-14s %-12s %10.3f %10.3f %8.0f %8.2f\n", cfg.Name, b, vsBase, vsSelf, r.CritLatency, r.SumIPC)
+		}
+	}
+	fmt.Println("---- geometric means ----")
+	for _, cfg := range configs {
+		gb, gs := 1.0, 1.0
+		n := 0
+		for _, r := range sums[cfg.Name] {
+			if r.vsBase > 0 && r.vsSelf > 0 {
+				gb *= r.vsBase
+				gs *= r.vsSelf
+				n++
+			}
+		}
+		if n > 0 {
+			gb = pow(gb, 1/float64(n))
+			gs = pow(gs, 1/float64(n))
+		}
+		fmt.Printf("%-14s vsBase %.3f  vsSelf %.3f\n", cfg.Name, gb, gs)
+	}
+}
+
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, y)
+}

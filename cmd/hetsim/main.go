@@ -1,0 +1,162 @@
+// Command hetsim runs one benchmark on one memory configuration and
+// prints the measured metrics.
+//
+// Usage:
+//
+//	hetsim -bench mcf -config rl -scale bench
+//
+// Configurations: baseline, lpddr2, rldram3, rd, rl, dl, rl-ad, rl-or,
+// rl-random.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hetsim"
+	"hetsim/internal/trace"
+)
+
+func configByName(name string, cores int) (hetsim.Config, error) {
+	switch strings.ToLower(name) {
+	case "baseline", "ddr3":
+		return hetsim.Baseline(cores), nil
+	case "lpddr2":
+		return hetsim.HomogeneousLPDDR2(cores), nil
+	case "rldram3":
+		return hetsim.HomogeneousRLDRAM3(cores), nil
+	case "rd":
+		return hetsim.RD(cores), nil
+	case "rl":
+		return hetsim.RL(cores), nil
+	case "dl":
+		return hetsim.DL(cores), nil
+	case "rl-ad":
+		cfg := hetsim.RL(cores)
+		cfg.Placement = hetsim.PlaceAdaptive
+		cfg.Name = "RL-AD"
+		return cfg, nil
+	case "rl-or":
+		cfg := hetsim.RL(cores)
+		cfg.Placement = hetsim.PlaceOracle
+		cfg.Name = "RL-OR"
+		return cfg, nil
+	case "hmc":
+		return hetsim.HMCHetero(cores), nil
+	case "rl-random":
+		cfg := hetsim.RL(cores)
+		cfg.Placement = hetsim.PlaceRandom
+		cfg.Name = "RL-random"
+		return cfg, nil
+	default:
+		return hetsim.Config{}, fmt.Errorf("unknown config %q", name)
+	}
+}
+
+func scaleByName(name string) (hetsim.Scale, error) {
+	switch strings.ToLower(name) {
+	case "test":
+		return hetsim.TestScale(), nil
+	case "bench":
+		return hetsim.BenchScale(), nil
+	case "paper":
+		return hetsim.PaperScale(), nil
+	default:
+		return hetsim.Scale{}, fmt.Errorf("unknown scale %q (test|bench|paper)", name)
+	}
+}
+
+func main() {
+	bench := flag.String("bench", "mcf", "benchmark name (see -list)")
+	config := flag.String("config", "baseline", "memory configuration (baseline|lpddr2|rldram3|rd|rl|dl|rl-ad|rl-or|rl-random|hmc)")
+	scaleName := flag.String("scale", "bench", "run scale: test|bench|paper")
+	cores := flag.Int("cores", 8, "core count")
+	pair := flag.Bool("pair", false, "also run the stand-alone reference and report weighted speedup")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	traceFile := flag.String("trace", "", "write a CSV fill trace to this file")
+	flag.Parse()
+
+	if *list {
+		for _, b := range hetsim.Benchmarks() {
+			fmt.Println(b)
+		}
+		return
+	}
+
+	cfg, err := configByName(*config, *cores)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetsim:", err)
+		os.Exit(2)
+	}
+	scale, err := scaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetsim:", err)
+		os.Exit(2)
+	}
+
+	var tw *trace.Writer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hetsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tw = trace.NewWriter(f)
+		cfg.TraceFn = func(r trace.Record) {
+			if err := tw.Write(r); err != nil {
+				fmt.Fprintln(os.Stderr, "hetsim: trace:", err)
+				os.Exit(1)
+			}
+		}
+		defer func() {
+			if err := tw.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "hetsim: trace:", err)
+			}
+			fmt.Printf("trace records        %d -> %s\n", tw.Count(), *traceFile)
+		}()
+	}
+
+	var res hetsim.Results
+	if *pair {
+		res, err = hetsim.RunPair(cfg, *bench, scale)
+	} else {
+		var sys *hetsim.System
+		sys, err = hetsim.NewSystem(cfg, *bench)
+		if err == nil {
+			res = sys.Run(scale)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hetsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark            %s\n", res.Benchmark)
+	fmt.Printf("config               %s\n", res.Config)
+	fmt.Printf("cycles               %d\n", res.Cycles)
+	fmt.Printf("demand DRAM reads    %d\n", res.DemandReads)
+	fmt.Printf("sum IPC              %.3f\n", res.SumIPC)
+	if *pair {
+		fmt.Printf("weighted speedup     %.3f\n", res.Throughput)
+	}
+	fmt.Printf("crit word latency    %.1f cycles\n", res.CritLatency)
+	fmt.Printf("read latency         queue %.1f + core %.1f + xfer %.1f\n",
+		res.QueueLat, res.CoreLat, res.XferLat)
+	fmt.Printf("crit from fast path  %.1f%%\n", res.CritFromFastFrac*100)
+	fmt.Printf("word distribution    %v\n", fmtFracs(res.CritWordFrac))
+	fmt.Printf("bus utilization      %.1f%%\n", res.BusUtil*100)
+	fmt.Printf("DRAM energy          %.3f mJ (%.0f mW)\n", res.DRAMEnergyMJ, res.DRAMPowerMW)
+	fmt.Printf("writebacks           %d\n", res.Writebacks)
+	fmt.Printf("merged misses        %d\n", res.MergedMisses)
+}
+
+func fmtFracs(f [8]float64) string {
+	parts := make([]string, 8)
+	for i, v := range f {
+		parts[i] = fmt.Sprintf("%.2f", v)
+	}
+	return strings.Join(parts, " ")
+}

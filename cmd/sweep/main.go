@@ -1,0 +1,148 @@
+// Command sweep runs one memory configuration across a parameter grid
+// and emits a CSV of results — the workhorse for sensitivity studies
+// beyond the canned experiments.
+//
+// Usage:
+//
+//	sweep -bench libquantum -config rl -param robsize -values 16,32,64,128
+//	sweep -bench mcf -config rl -param parityrate -values 0,0.01,0.1,1
+//	sweep -bench leslie3d -config baseline -param cores -values 1,2,4,8
+//	sweep -bench mg -config rl -param reads -values 5000,20000,80000
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hetsim"
+)
+
+func main() {
+	bench := flag.String("bench", "libquantum", "benchmark name")
+	config := flag.String("config", "rl", "configuration (see cmd/hetsim)")
+	param := flag.String("param", "robsize", "swept parameter: robsize|cores|parityrate|reads")
+	values := flag.String("values", "32,64,128", "comma-separated values")
+	scaleName := flag.String("scale", "test", "base run scale: test|bench|paper")
+	out := flag.String("o", "", "output CSV path (default stdout)")
+	pair := flag.Bool("pair", false, "run the stand-alone reference too (fills throughput columns)")
+	flag.Parse()
+
+	var scale hetsim.Scale
+	switch *scaleName {
+	case "test":
+		scale = hetsim.TestScale()
+	case "bench":
+		scale = hetsim.BenchScale()
+	case "paper":
+		scale = hetsim.PaperScale()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+
+	wroteHeader := false
+	for _, vs := range strings.Split(*values, ",") {
+		vs = strings.TrimSpace(vs)
+		cfg, err := baseConfig(*config, 8)
+		if err != nil {
+			fatal(err)
+		}
+		runScale := scale
+		switch strings.ToLower(*param) {
+		case "robsize":
+			n, err := strconv.Atoi(vs)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.ROBSize = n
+		case "cores":
+			n, err := strconv.Atoi(vs)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.NCores = n
+		case "parityrate":
+			p, err := strconv.ParseFloat(vs, 64)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.CritParityErrorRate = p
+		case "reads":
+			n, err := strconv.ParseUint(vs, 10, 64)
+			if err != nil {
+				fatal(err)
+			}
+			runScale.MeasureReads = n
+			runScale.WarmupReads = n / 10
+		default:
+			fatal(fmt.Errorf("unknown parameter %q", *param))
+		}
+		cfg.Name = fmt.Sprintf("%s[%s=%s]", cfg.Name, *param, vs)
+
+		var res hetsim.Results
+		if *pair {
+			var err error
+			res, err = hetsim.RunPair(cfg, *bench, runScale)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			sys, err := hetsim.NewSystem(cfg, *bench)
+			if err != nil {
+				fatal(err)
+			}
+			res = sys.Run(runScale)
+		}
+		if !wroteHeader {
+			if err := cw.Write(append([]string{"param", "value"}, res.CSVHeader()...)); err != nil {
+				fatal(err)
+			}
+			wroteHeader = true
+		}
+		if err := cw.Write(append([]string{*param, vs}, res.CSVRow()...)); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// baseConfig mirrors cmd/hetsim's configuration names.
+func baseConfig(name string, cores int) (hetsim.Config, error) {
+	switch strings.ToLower(name) {
+	case "baseline", "ddr3":
+		return hetsim.Baseline(cores), nil
+	case "lpddr2":
+		return hetsim.HomogeneousLPDDR2(cores), nil
+	case "rldram3":
+		return hetsim.HomogeneousRLDRAM3(cores), nil
+	case "rd":
+		return hetsim.RD(cores), nil
+	case "rl":
+		return hetsim.RL(cores), nil
+	case "dl":
+		return hetsim.DL(cores), nil
+	case "hmc":
+		return hetsim.HMCHetero(cores), nil
+	default:
+		return hetsim.Config{}, fmt.Errorf("unknown config %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command tracestat summarizes a fill trace produced by
+// hetsim -trace: per-word critical distribution, fast-path coverage and
+// latency statistics.
+//
+// Usage:
+//
+//	hetsim -bench mcf -config rl-ad -scale bench -trace mcf.csv
+//	tracestat mcf.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetsim/internal/trace"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracestat <trace.csv>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	recs, err := trace.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+	s := trace.Summarize(recs)
+	fmt.Printf("records            %d\n", s.Fills)
+	fmt.Printf("  demand           %d\n", s.Demand)
+	fmt.Printf("  store fills      %d\n", s.Stores)
+	fmt.Printf("  prefetches       %d\n", s.Prefetches)
+	if s.Demand > 0 {
+		fmt.Printf("served fast        %d (%.1f%%)\n", s.ServedFast,
+			100*float64(s.ServedFast)/float64(s.Demand))
+	}
+	fmt.Printf("parity held        %d\n", s.ParityHeld)
+	fmt.Printf("mean fill latency  %.1f cycles\n", s.MeanFillLat)
+	fmt.Printf("mean crit latency  %.1f cycles\n", s.MeanCritLat)
+	fmt.Println("critical word distribution (demand fills):")
+	for w, c := range s.WordHistogram {
+		frac := 0.0
+		if s.Demand > 0 {
+			frac = 100 * float64(c) / float64(s.Demand)
+		}
+		fmt.Printf("  w%d %7d  %5.1f%%\n", w, c, frac)
+	}
+}

@@ -1,0 +1,63 @@
+// Faulttolerance: the §4.2.3 story end to end. The critical word
+// arrives early from RLDRAM guarded only by per-byte parity; SECDED
+// over the full line is the backstop; and the same split generalizes to
+// chipkill-class protection of the line DIMM.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetsim"
+	"hetsim/internal/ecc"
+)
+
+func main() {
+	// 1. Functional layer: parity gate + SECDED backstop.
+	words := [8]uint64{0xdeadbeefcafebabe, 2, 3, 4, 5, 6, 7, 8}
+	line := ecc.NewLine(words)
+
+	fmt.Println("clean line:")
+	fmt.Printf("  early delivery allowed: %v\n", line.CriticalDelivery())
+
+	line.FlipBit(0, 17) // a single-bit fault in the critical word
+	fmt.Println("single-bit fault in the critical word:")
+	fmt.Printf("  early delivery allowed: %v (parity caught it)\n", line.CriticalDelivery())
+	fixed, verdict := line.Verify()
+	fmt.Printf("  SECDED verdict: %v, word restored: %v\n",
+		verdict, fixed.Words[0] == words[0])
+
+	// 2. Chipkill extension: a whole line-DIMM chip dies.
+	ck := ecc.EncodeChipkill(words)
+	var checks [8]uint8
+	for i, w := range words {
+		checks[i] = ecc.Encode(w)
+	}
+	if err := ck.KillChip(5); err != nil {
+		log.Fatal(err)
+	}
+	recovered, err := ecc.RecoverChipkill(ck, checks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("chipkill (device 5 failed):")
+	fmt.Printf("  full line recovered: %v\n", recovered == words)
+
+	// 3. Performance effect: inject parity failures into a live system
+	// and watch the critical word latency degrade toward line latency.
+	scale := hetsim.TestScale()
+	for _, rate := range []float64{0, 0.25, 1.0} {
+		cfg := hetsim.RL(8)
+		cfg.CritParityErrorRate = rate
+		cfg.Name = fmt.Sprintf("RL-err%.0f%%", rate*100)
+		sys, err := hetsim.NewSystem(cfg, "libquantum")
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := sys.Run(scale)
+		fmt.Printf("parity error rate %4.0f%%: crit latency %6.1f cycles (%d held)\n",
+			rate*100, res.CritLatency, res.ParityErrors)
+	}
+	fmt.Println("\nWith every word held (100%), the early-delivery benefit is gone:")
+	fmt.Println("the consumer always waits for the LPDDR2 line plus SECDED.")
+}

@@ -1,0 +1,145 @@
+// Package hetsim is a cycle-level simulator of heterogeneous DRAM main
+// memories that accelerate critical word access, reproducing Chatterjee
+// et al., "Leveraging Heterogeneity in DRAM Main Memories to Accelerate
+// Critical Word Access" (MICRO 2012).
+//
+// The simulator models out-of-order cores (64-entry ROB, 4-wide), a
+// two-level cache hierarchy with MSHRs and stride prefetching, and
+// cycle-accurate DDR3-1600, LPDDR2-800 and RLDRAM3 channels behind
+// FR-FCFS memory controllers. Its centerpiece is the paper's split
+// critical-word-first (CWF) organization: word 0 (or an adaptively
+// chosen word) of every cache line lives on a low-latency RLDRAM3
+// sub-channel with its own controller, while the remaining words and
+// ECC live on a low-power LPDDR2 (or DDR3) line channel.
+//
+// Quickstart:
+//
+//	cfg := hetsim.RL(8)                      // RLDRAM3 + LPDDR2 CWF system
+//	sys, err := hetsim.NewSystem(cfg, "mcf") // 8 copies of an mcf-like trace
+//	if err != nil { ... }
+//	res := sys.Run(hetsim.BenchScale())
+//	fmt.Println(res.SumIPC, res.CritLatency)
+//
+// The Experiments type regenerates every table and figure of the
+// paper's evaluation; see EXPERIMENTS.md for the recorded shapes.
+package hetsim
+
+import (
+	"fmt"
+
+	"hetsim/internal/core"
+	"hetsim/internal/exp"
+	"hetsim/internal/workload"
+)
+
+// Config describes a complete simulated machine (cores, cache
+// hierarchy, and main memory organization).
+type Config = core.SystemConfig
+
+// Results are the measured outputs of one run: IPC, weighted-speedup
+// throughput, critical-word latency, latency breakdown, DRAM energy,
+// bus utilization and the critical-word census.
+type Results = core.Results
+
+// Scale sizes a run (warmup reads, measured reads, cycle cap).
+type Scale = core.RunScale
+
+// Placement selects the critical-word placement policy for split
+// (CWF) systems.
+type Placement = core.Placement
+
+// Placement policies (§4.2.2, §4.2.5, §6.1.1).
+const (
+	PlaceStatic   = core.PlaceStatic
+	PlaceAdaptive = core.PlaceAdaptive
+	PlaceOracle   = core.PlaceOracle
+	PlaceRandom   = core.PlaceRandom
+)
+
+// Baseline returns the 8GB all-DDR3 system of Figure 5a.
+func Baseline(nCores int) Config { return core.Baseline(nCores) }
+
+// HomogeneousLPDDR2 returns the all-LPDDR2 system of Figure 1.
+func HomogeneousLPDDR2(nCores int) Config { return core.HomogeneousLPDDR2(nCores) }
+
+// HomogeneousRLDRAM3 returns the all-RLDRAM3 bound of Figures 1 and 9.
+func HomogeneousRLDRAM3(nCores int) Config { return core.HomogeneousRLDRAM3(nCores) }
+
+// RL returns the flagship configuration: RLDRAM3 critical words over
+// LPDDR2 line channels (§6.1).
+func RL(nCores int) Config { return core.RL(nCores) }
+
+// RD returns RLDRAM3 critical words over DDR3 line channels.
+func RD(nCores int) Config { return core.RD(nCores) }
+
+// DL returns DDR3 critical words over LPDDR2 line channels.
+func DL(nCores int) Config { return core.DL(nCores) }
+
+// HMCHetero returns the §10 future-work system: critical words from a
+// high-frequency HMC cube over low-power low-frequency cubes.
+func HMCHetero(nCores int) Config { return core.HMCHetero(nCores) }
+
+// PagePlaced returns the §7.1 comparison system: profiled hot pages on
+// a half-size full-line RLDRAM3 channel, everything else on LPDDR2.
+func PagePlaced(nCores int, hotPages map[uint64]bool) Config {
+	return core.PagePlaced(nCores, hotPages)
+}
+
+// TestScale, BenchScale and PaperScale are the standard run sizes.
+func TestScale() Scale { return core.TestScale() }
+
+// BenchScale is the default sweep size used by the bench harness.
+func BenchScale() Scale { return core.BenchScale() }
+
+// PaperScale mirrors §5 of the paper: 2M measured DRAM reads.
+func PaperScale() Scale { return core.PaperScale() }
+
+// Benchmarks lists the 26 modelled workloads (NPB, STREAM, SPEC 2006).
+func Benchmarks() []string { return workload.Names() }
+
+// MemoryIntensiveBenchmarks lists a high-pressure subset spanning the
+// streaming / strided / pointer-chase pattern families.
+func MemoryIntensiveBenchmarks() []string { return workload.MemoryIntensive() }
+
+// System is one machine running one workload.
+type System struct {
+	inner *core.System
+}
+
+// NewSystem builds a machine running the named benchmark (one trace
+// copy per core for SPEC-style workloads, one shared address space for
+// NPB/STREAM).
+func NewSystem(cfg Config, benchmark string) (*System, error) {
+	spec, err := workload.Get(benchmark)
+	if err != nil {
+		return nil, fmt.Errorf("hetsim: %w", err)
+	}
+	sys, err := core.NewSystem(cfg, spec)
+	if err != nil {
+		return nil, fmt.Errorf("hetsim: %w", err)
+	}
+	return &System{inner: sys}, nil
+}
+
+// Run executes warmup plus a measured window and returns Results.
+func (s *System) Run(scale Scale) Results { return s.inner.Run(scale) }
+
+// RunPair measures the paper's weighted-speedup throughput metric:
+// an 8-core shared run against a single-core stand-alone reference.
+func RunPair(cfg Config, benchmark string, scale Scale) (Results, error) {
+	spec, err := workload.Get(benchmark)
+	if err != nil {
+		return Results{}, fmt.Errorf("hetsim: %w", err)
+	}
+	return core.RunPair(cfg, spec, scale)
+}
+
+// Experiments regenerates the paper's tables and figures. Zero-value
+// options select the full suite at BenchScale with 8 cores.
+type Experiments = exp.Runner
+
+// ExperimentOptions scope an experiment sweep.
+type ExperimentOptions = exp.Options
+
+// NewExperiments builds an experiment runner.
+func NewExperiments(opts ExperimentOptions) *Experiments { return exp.NewRunner(opts) }

@@ -1,0 +1,268 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressHelpers(t *testing.T) {
+	if LineAddr(0) != 0 || LineAddr(63) != 0 || LineAddr(64) != 1 {
+		t.Fatal("LineAddr wrong")
+	}
+	if WordIndex(0) != 0 || WordIndex(8) != 1 || WordIndex(63) != 7 || WordIndex(64) != 0 {
+		t.Fatal("WordIndex wrong")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	l1 := New(32*1024, 2) // Table 1 L1
+	if l1.Sets() != 256 || l1.Ways() != 2 {
+		t.Fatalf("L1 geometry %dx%d", l1.Sets(), l1.Ways())
+	}
+	l2 := New(4*1024*1024, 8) // Table 1 L2
+	if l2.Sets() != 8192 || l2.Ways() != 8 {
+		t.Fatalf("L2 geometry %dx%d", l2.Sets(), l2.Ways())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two sets did not panic")
+		}
+	}()
+	New(3*LineSize, 1)
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := New(1024, 2)
+	if c.Lookup(5, false) {
+		t.Fatal("hit in empty cache")
+	}
+	c.Insert(5, false, 0)
+	if !c.Lookup(5, false) {
+		t.Fatal("miss after insert")
+	}
+	if c.Stat.Hits != 1 || c.Stat.Misses != 1 {
+		t.Fatalf("stats %+v", c.Stat)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2*LineSize, 2) // one set, two ways
+	c.Insert(0, false, 0)
+	c.Insert(1, false, 0)
+	c.Lookup(0, false) // make 0 most recent
+	ev, evicted := c.Insert(2, false, 0)
+	if !evicted || ev.LineAddr != 1 {
+		t.Fatalf("evicted %+v (flag %v), want line 1", ev, evicted)
+	}
+	if !c.Contains(0) || !c.Contains(2) || c.Contains(1) {
+		t.Fatal("wrong resident set after eviction")
+	}
+}
+
+func TestDirtyEvictionReported(t *testing.T) {
+	c := New(2*LineSize, 2)
+	c.Insert(0, false, 0)
+	c.Lookup(0, true) // dirty it
+	c.Insert(1, false, 0)
+	c.Lookup(1, false)
+	ev, _ := c.Insert(2, false, 0) // evicts 0 (LRU)
+	if ev.LineAddr != 0 || !ev.Dirty {
+		t.Fatalf("eviction %+v, want dirty line 0", ev)
+	}
+	if c.Stat.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stat.Writebacks)
+	}
+}
+
+func TestInsertExistingMergesDirty(t *testing.T) {
+	c := New(1024, 2)
+	c.Insert(7, true, 3)
+	if _, evicted := c.Insert(7, false, 5); evicted {
+		t.Fatal("re-insert evicted something")
+	}
+	meta, ok := c.Meta(7)
+	if !ok || meta != 5 {
+		t.Fatalf("meta = %d, %v", meta, ok)
+	}
+	// Dirtiness must not be lost by the clean re-insert.
+	_, dirty := c.Invalidate(7)
+	if !dirty {
+		t.Fatal("dirty bit lost on re-insert")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(1024, 2)
+	c.Insert(9, true, 0)
+	present, dirty := c.Invalidate(9)
+	if !present || !dirty {
+		t.Fatalf("invalidate = %v,%v", present, dirty)
+	}
+	if c.Contains(9) {
+		t.Fatal("line survived invalidate")
+	}
+	if p, _ := c.Invalidate(9); p {
+		t.Fatal("double invalidate reported present")
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	c := New(1024, 2)
+	if _, ok := c.Meta(1); ok {
+		t.Fatal("meta of absent line")
+	}
+	c.Insert(1, false, 0)
+	if !c.SetMeta(1, 6) {
+		t.Fatal("SetMeta failed")
+	}
+	if m, _ := c.Meta(1); m != 6 {
+		t.Fatalf("meta = %d", m)
+	}
+	if c.SetMeta(2, 1) {
+		t.Fatal("SetMeta on absent line succeeded")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Fatal("empty miss rate not 0")
+	}
+	s.Hits, s.Misses = 3, 1
+	if s.MissRate() != 0.25 {
+		t.Fatalf("miss rate = %v", s.MissRate())
+	}
+}
+
+// Property: the cache never holds more lines than its capacity and a
+// just-inserted line is always resident.
+func TestCapacityInvariantProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New(16*LineSize, 4)
+		resident := map[uint64]bool{}
+		for _, a := range addrs {
+			la := uint64(a)
+			ev, evicted := c.Insert(la, false, 0)
+			resident[la] = true
+			if evicted {
+				delete(resident, ev.LineAddr)
+			}
+			if !c.Contains(la) {
+				return false
+			}
+			if len(resident) > 16 {
+				return false
+			}
+		}
+		for la := range resident {
+			if !c.Contains(la) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LRU never evicts the most recently used line of a set.
+func TestLRUNeverEvictsMRUProperty(t *testing.T) {
+	f := func(addrs []uint8) bool {
+		c := New(4*LineSize, 4) // single set
+		var last uint64
+		havePrev := false
+		for _, a := range addrs {
+			la := uint64(a)
+			ev, evicted := c.Insert(la, false, 0)
+			if evicted && havePrev && ev.LineAddr == last && last != la {
+				return false
+			}
+			last = la
+			havePrev = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRLifecycle(t *testing.T) {
+	m := NewMSHR(2)
+	if m.Full() {
+		t.Fatal("empty MSHR full")
+	}
+	e := m.Alloc(10, false, false, 3, 0)
+	if e.MissWord != 3 || e.CritWord != 0 {
+		t.Fatalf("entry %+v", e)
+	}
+	if got, ok := m.Lookup(10); !ok || got != e {
+		t.Fatal("lookup failed")
+	}
+	m.Merge(e, Waiter{Core: 1, Word: 5})
+	if len(e.Waiters) != 1 || m.Merges != 1 {
+		t.Fatal("merge not recorded")
+	}
+	m.Alloc(11, true, false, 0, 0)
+	if !m.Full() {
+		t.Fatal("MSHR not full at capacity")
+	}
+	m.Free(10)
+	if m.Full() || m.Occupancy() != 1 {
+		t.Fatal("free did not release")
+	}
+	if m.PeakOccupancy != 2 {
+		t.Fatalf("peak = %d", m.PeakOccupancy)
+	}
+}
+
+func TestMSHROverflowPanics(t *testing.T) {
+	m := NewMSHR(1)
+	m.Alloc(1, false, false, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow alloc did not panic")
+		}
+	}()
+	m.Alloc(2, false, false, 0, 0)
+}
+
+func TestMSHRDuplicatePanics(t *testing.T) {
+	m := NewMSHR(2)
+	m.Alloc(1, false, false, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate alloc did not panic")
+		}
+	}()
+	m.Alloc(1, false, false, 0, 0)
+}
+
+func TestMSHRFreeUnknownPanics(t *testing.T) {
+	m := NewMSHR(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("free of unknown entry did not panic")
+		}
+	}()
+	m.Free(42)
+}
+
+func TestEntryDone(t *testing.T) {
+	e := &Entry{}
+	if e.Done() {
+		t.Fatal("fresh entry done")
+	}
+	e.CritArrived = true
+	if e.Done() {
+		t.Fatal("half-arrived entry done")
+	}
+	e.LineArrived = true
+	if !e.Done() {
+		t.Fatal("complete entry not done")
+	}
+}

@@ -1,0 +1,111 @@
+package cache
+
+// Waiter is one consumer blocked on an outstanding line fill: the core
+// that missed, which word it asked for, and whether anything actually
+// stalls on it (store fills and prefetches have no waiter urgency).
+type Waiter struct {
+	Core int
+	Word int
+	Wake func()
+}
+
+// Entry is one miss-status holding register: an outstanding line fill
+// that may be split across two DRAM channels (critical word + rest of
+// line, §4.2.2). Secondary misses to the same line merge as waiters.
+type Entry struct {
+	LineAddr uint64
+	Store    bool // fill triggered by a store (write-allocate)
+	Prefetch bool
+
+	// CritWord is the word index the fill's critical-channel request
+	// fetches (the placed word under static/adaptive placement).
+	CritWord int
+
+	// MissWord is the word whose access triggered the fill.
+	MissWord int
+
+	// Core is the requesting core (fills install into its L1).
+	Core int
+	// Born is the allocation cycle (critical-word latency accounting).
+	Born int64
+	// CritAt is the cycle the fast-path word arrived (0 until then).
+	CritAt int64
+
+	CritArrived bool
+	LineArrived bool
+	// ParityHeld records a critical-word parity failure (§4.2.3): the
+	// early word is withheld and consumers wait for line + SECDED.
+	ParityHeld bool
+
+	Waiters []Waiter
+}
+
+// Done reports whether every part of the fill has landed.
+func (e *Entry) Done() bool { return e.LineArrived && e.CritArrived }
+
+// MSHR is the LLC miss-status holding register file. Entries are keyed
+// by line address; capacity pressure propagates to the cores as retry
+// stalls, as in the real structure.
+type MSHR struct {
+	entries map[uint64]*Entry
+	cap     int
+
+	// PeakOccupancy tracks the high-water mark for stats.
+	PeakOccupancy int
+	Merges        uint64
+	Allocs        uint64
+}
+
+// NewMSHR builds an MSHR file with the given capacity.
+func NewMSHR(capacity int) *MSHR {
+	if capacity <= 0 {
+		panic("cache: MSHR capacity must be positive")
+	}
+	return &MSHR{entries: make(map[uint64]*Entry, capacity), cap: capacity}
+}
+
+// Lookup finds the in-flight entry for a line, if any.
+func (m *MSHR) Lookup(lineAddr uint64) (*Entry, bool) {
+	e, ok := m.entries[lineAddr]
+	return e, ok
+}
+
+// Full reports whether no new entries can be allocated.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.cap }
+
+// Occupancy reports the number of outstanding fills.
+func (m *MSHR) Occupancy() int { return len(m.entries) }
+
+// Alloc creates an entry for lineAddr. The caller must have checked
+// Full and Lookup; allocating a duplicate or past capacity panics, as
+// either is a protocol bug.
+func (m *MSHR) Alloc(lineAddr uint64, store, prefetch bool, missWord, critWord int) *Entry {
+	if m.Full() {
+		panic("cache: MSHR overflow")
+	}
+	if _, dup := m.entries[lineAddr]; dup {
+		panic("cache: duplicate MSHR entry")
+	}
+	e := &Entry{LineAddr: lineAddr, Store: store, Prefetch: prefetch,
+		MissWord: missWord, CritWord: critWord}
+	m.entries[lineAddr] = e
+	m.Allocs++
+	if len(m.entries) > m.PeakOccupancy {
+		m.PeakOccupancy = len(m.entries)
+	}
+	return e
+}
+
+// Merge attaches a secondary miss to an in-flight entry.
+func (m *MSHR) Merge(e *Entry, w Waiter) {
+	e.Waiters = append(e.Waiters, w)
+	m.Merges++
+}
+
+// Free releases a completed entry.
+func (m *MSHR) Free(lineAddr uint64) {
+	if _, ok := m.entries[lineAddr]; !ok {
+		panic("cache: freeing unknown MSHR entry")
+	}
+	delete(m.entries, lineAddr)
+}

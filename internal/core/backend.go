@@ -1,0 +1,307 @@
+package core
+
+import (
+	"hetsim/internal/dram"
+	"hetsim/internal/memctrl"
+	"hetsim/internal/sim"
+)
+
+// FillCallbacks are the delivery events of one line fill. OnCrit fires
+// when the word stored on the fast path arrives; OnReqWord fires when
+// the requested word arrives via the line part (burst-reordered to the
+// first beat — meaningful when the requested word is not the placed
+// one); OnLine fires when the whole line (and its ECC) has arrived.
+type FillCallbacks struct {
+	OnCrit    func()
+	OnReqWord func()
+	OnLine    func()
+}
+
+// ChannelGroup exposes one set of like channels for stats and energy.
+type ChannelGroup struct {
+	Kind             dram.Kind
+	Cfg              dram.Config
+	Chans            []*dram.Channel
+	Ctrls            []*memctrl.Controller
+	DevicesPerAccess int
+	DevicesPerRank   int
+}
+
+// backend is a main-memory organization: it turns line fills and
+// write-backs into DRAM transactions.
+type backend interface {
+	CanAcceptFill(lineAddr uint64) bool
+	// CanAcceptPrefetch additionally requires headroom in the target
+	// read queue: prefetches are dropped rather than allowed to build
+	// queue pressure that would delay demand traffic.
+	CanAcceptPrefetch(lineAddr uint64) bool
+	IssueFill(lineAddr uint64, prefetch bool, cb FillCallbacks) bool
+	CanAcceptWriteback(lineAddr uint64) bool
+	IssueWriteback(lineAddr uint64) bool
+	Groups() []ChannelGroup
+}
+
+// prefetchHeadroom is the queue-occupancy ceiling for accepting new
+// prefetches (fraction of the read queue).
+const prefetchHeadroom = 0.5
+
+// firstBeat is when the first (reordered, critical) word of a burst is
+// on the pins: one DDR beat after data start.
+func firstBeat(r *memctrl.Request, ch *dram.Channel) sim.Cycle {
+	b := r.DataStart + ch.Cfg.Timing.BusCycle/2
+	if b <= r.DataStart {
+		b = r.DataStart + 1
+	}
+	return b
+}
+
+// lineBackend is the conventional organization (Figure 5a): full lines
+// on homogeneous channels, with conventional burst-reorder CWF. route
+// maps a line address to (channel, channel-local line address).
+type lineBackend struct {
+	eng   *sim.Engine
+	ctrls []*memctrl.Controller
+	chans []*dram.Channel
+	route func(lineAddr uint64) (int, uint64)
+	group []ChannelGroup
+}
+
+// newHomogeneous builds nCh channels of cfg with controller defaults
+// for its kind (and the given sleep variant).
+func newHomogeneous(eng *sim.Engine, cfg dram.Config, nCh int, deepSleep bool) *lineBackend {
+	b := &lineBackend{eng: eng}
+	for i := 0; i < nCh; i++ {
+		ch := dram.NewChannel(cfg, 1, nil)
+		mc := memctrl.DefaultConfig(cfg.Kind)
+		mc.DeepSleep = deepSleep
+		b.chans = append(b.chans, ch)
+		b.ctrls = append(b.ctrls, memctrl.New(eng, ch, mc))
+	}
+	b.route = func(la uint64) (int, uint64) {
+		return int(la % uint64(nCh)), la / uint64(nCh)
+	}
+	b.group = []ChannelGroup{{Kind: cfg.Kind, Cfg: cfg, Chans: b.chans, Ctrls: b.ctrls,
+		DevicesPerAccess: cfg.Geom.DevicesPerRank, DevicesPerRank: cfg.Geom.DevicesPerRank}}
+	return b
+}
+
+func (b *lineBackend) CanAcceptFill(lineAddr uint64) bool {
+	ch, _ := b.route(lineAddr)
+	return b.ctrls[ch].CanAcceptRead()
+}
+
+func (b *lineBackend) CanAcceptPrefetch(lineAddr uint64) bool {
+	ch, _ := b.route(lineAddr)
+	rq, _ := b.ctrls[ch].QueueDepths()
+	return float64(rq) < prefetchHeadroom*float64(b.ctrls[ch].Cfg.ReadQueueSize)
+}
+
+func (b *lineBackend) IssueFill(lineAddr uint64, prefetch bool, cb FillCallbacks) bool {
+	chIdx, local := b.route(lineAddr)
+	ch := b.chans[chIdx]
+	req := &memctrl.Request{Addr: local, Prefetch: prefetch}
+	req.OnIssue = func(r *memctrl.Request) {
+		beat := firstBeat(r, ch)
+		b.eng.ScheduleAt(beat, cb.OnCrit)
+		if cb.OnReqWord != nil {
+			b.eng.ScheduleAt(beat, cb.OnReqWord)
+		}
+	}
+	req.OnComplete = func(*memctrl.Request) { cb.OnLine() }
+	return b.ctrls[chIdx].EnqueueRead(req)
+}
+
+func (b *lineBackend) CanAcceptWriteback(lineAddr uint64) bool {
+	ch, _ := b.route(lineAddr)
+	return b.ctrls[ch].CanAcceptWrite()
+}
+
+func (b *lineBackend) IssueWriteback(lineAddr uint64) bool {
+	ch, local := b.route(lineAddr)
+	return b.ctrls[ch].EnqueueWrite(&memctrl.Request{Addr: local})
+}
+
+func (b *lineBackend) Groups() []ChannelGroup { return b.group }
+
+// cwfBackend is the split organization of Figure 5c: four line channels
+// carrying words 1-7 + ECC, and four x9 critical-word sub-channels (one
+// rank each) behind a single shared double-pumped address/command bus.
+type cwfBackend struct {
+	eng       *sim.Engine
+	lineCtrl  []*memctrl.Controller
+	lineChan  []*dram.Channel
+	critCtrl  []*memctrl.Controller
+	critChan  []*dram.Channel
+	sharedCmd *dram.CmdBus
+	wideRank  bool
+	groups    []ChannelGroup
+}
+
+// cwfOptions tune the critical-channel organization (§4.2.4 ablations).
+type cwfOptions struct {
+	deepSleep     bool
+	privateCmdBus bool // one addr/cmd bus per sub-channel
+	wideRank      bool // one 4-chip 36-bit rank instead of 4 narrow x9 ranks
+}
+
+func newCWF(eng *sim.Engine, lineCfg, critCfg dram.Config, opt cwfOptions) *cwfBackend {
+	b := &cwfBackend{eng: eng, sharedCmd: &dram.CmdBus{}, wideRank: opt.wideRank}
+	critSubs := Channels
+	devsPerAccess := 1
+	devsPerRank := 1
+	if opt.wideRank {
+		// §4.2.4 pre-optimization organization: word 0 and parity are
+		// striped across 4 chips on a 36-bit bus — one sub-channel,
+		// bursts complete in a single bus cycle, 4 chips activate.
+		critSubs = 1
+		critCfg.Timing.Burst = critCfg.Timing.BusCycle
+		devsPerAccess = 4
+		devsPerRank = 4
+	}
+	for i := 0; i < Channels; i++ {
+		lc := dram.NewChannel(lineCfg, 1, nil)
+		lcc := memctrl.DefaultConfig(lineCfg.Kind)
+		lcc.DeepSleep = opt.deepSleep
+		b.lineChan = append(b.lineChan, lc)
+		b.lineCtrl = append(b.lineCtrl, memctrl.New(eng, lc, lcc))
+	}
+	for i := 0; i < critSubs; i++ {
+		bus := b.sharedCmd
+		if opt.privateCmdBus {
+			bus = &dram.CmdBus{}
+		}
+		cc := dram.NewChannel(critCfg, 1, bus)
+		ccc := memctrl.DefaultConfig(critCfg.Kind)
+		// The sub-channels share one physical controller's queue
+		// capacity (§4.2.4 aggregates them onto one controller).
+		ccc.ReadQueueSize = 48 / critSubs
+		ccc.WriteQueueSize = 48 / critSubs
+		ccc.HighWatermark = 32 / critSubs
+		ccc.LowWatermark = 16 / critSubs
+		b.critChan = append(b.critChan, cc)
+		b.critCtrl = append(b.critCtrl, memctrl.New(eng, cc, ccc))
+	}
+	b.groups = []ChannelGroup{
+		{Kind: lineCfg.Kind, Cfg: lineCfg, Chans: b.lineChan, Ctrls: b.lineCtrl,
+			DevicesPerAccess: lineCfg.Geom.DevicesPerRank, DevicesPerRank: lineCfg.Geom.DevicesPerRank},
+		{Kind: critCfg.Kind, Cfg: critCfg, Chans: b.critChan, Ctrls: b.critCtrl,
+			DevicesPerAccess: devsPerAccess, DevicesPerRank: devsPerRank},
+	}
+	return b
+}
+
+// split routes a line address to its line channel, critical sub-channel
+// and local addresses.
+func (b *cwfBackend) split(lineAddr uint64) (ch int, local uint64) {
+	return int(lineAddr % Channels), lineAddr / Channels
+}
+
+// critSub maps a line channel index to its critical sub-channel.
+func (b *cwfBackend) critSub(ch int) int {
+	if b.wideRank {
+		return 0
+	}
+	return ch
+}
+
+func (b *cwfBackend) CanAcceptFill(lineAddr uint64) bool {
+	ch, _ := b.split(lineAddr)
+	return b.lineCtrl[ch].CanAcceptRead() && b.critCtrl[b.critSub(ch)].CanAcceptRead()
+}
+
+func (b *cwfBackend) CanAcceptPrefetch(lineAddr uint64) bool {
+	ch, _ := b.split(lineAddr)
+	cs := b.critSub(ch)
+	lrq, _ := b.lineCtrl[ch].QueueDepths()
+	crq, _ := b.critCtrl[cs].QueueDepths()
+	return float64(lrq) < prefetchHeadroom*float64(b.lineCtrl[ch].Cfg.ReadQueueSize) &&
+		float64(crq) < prefetchHeadroom*float64(b.critCtrl[cs].Cfg.ReadQueueSize)
+}
+
+func (b *cwfBackend) IssueFill(lineAddr uint64, prefetch bool, cb FillCallbacks) bool {
+	chIdx, local := b.split(lineAddr)
+	cs := b.critSub(chIdx)
+	critLocal := local
+	if b.wideRank {
+		critLocal = lineAddr // single sub-channel covers all lines
+	}
+	if !b.lineCtrl[chIdx].CanAcceptRead() || !b.critCtrl[cs].CanAcceptRead() {
+		return false
+	}
+	// Critical-word request: the whole 8-byte word (plus parity)
+	// arrives over the x9 sub-channel; deliverable at burst end.
+	critReq := &memctrl.Request{Addr: critLocal, Prefetch: prefetch}
+	critReq.OnComplete = func(*memctrl.Request) { cb.OnCrit() }
+	if !b.critCtrl[cs].EnqueueRead(critReq) {
+		return false
+	}
+	lineCh := b.lineChan[chIdx]
+	lineReq := &memctrl.Request{Addr: local, Prefetch: prefetch}
+	lineReq.OnIssue = func(r *memctrl.Request) {
+		if cb.OnReqWord != nil {
+			b.eng.ScheduleAt(firstBeat(r, lineCh), cb.OnReqWord)
+		}
+	}
+	lineReq.OnComplete = func(*memctrl.Request) { cb.OnLine() }
+	if !b.lineCtrl[chIdx].EnqueueRead(lineReq) {
+		// CanAcceptRead was checked above; a failure here is a bug.
+		panic("core: line enqueue failed after capacity check")
+	}
+	return true
+}
+
+func (b *cwfBackend) CanAcceptWriteback(lineAddr uint64) bool {
+	ch, _ := b.split(lineAddr)
+	return b.lineCtrl[ch].CanAcceptWrite() && b.critCtrl[b.critSub(ch)].CanAcceptWrite()
+}
+
+func (b *cwfBackend) IssueWriteback(lineAddr uint64) bool {
+	ch, local := b.split(lineAddr)
+	cs := b.critSub(ch)
+	critLocal := local
+	if b.wideRank {
+		critLocal = lineAddr
+	}
+	if !b.CanAcceptWriteback(lineAddr) {
+		return false
+	}
+	if !b.critCtrl[cs].EnqueueWrite(&memctrl.Request{Addr: critLocal}) {
+		return false
+	}
+	if !b.lineCtrl[ch].EnqueueWrite(&memctrl.Request{Addr: local}) {
+		panic("core: line write enqueue failed after capacity check")
+	}
+	return true
+}
+
+func (b *cwfBackend) Groups() []ChannelGroup { return b.groups }
+
+// newPagePlaced builds the §7.1 comparison: channel 0 is a half-size
+// full-line RLDRAM3 channel holding the profiled hot pages; channels
+// 1..3 are LPDDR2. Lines of a page stay on one channel.
+func newPagePlaced(eng *sim.Engine, hot map[uint64]bool, deepSleep bool) *lineBackend {
+	b := &lineBackend{eng: eng}
+	kinds := []dram.Config{dram.RLDRAM3Config(), dram.LPDDR2Config(), dram.LPDDR2Config(), dram.LPDDR2Config()}
+	for _, cfg := range kinds {
+		ch := dram.NewChannel(cfg, 1, nil)
+		mc := memctrl.DefaultConfig(cfg.Kind)
+		mc.DeepSleep = deepSleep
+		b.chans = append(b.chans, ch)
+		b.ctrls = append(b.ctrls, memctrl.New(eng, ch, mc))
+	}
+	const linesPerPage = 64
+	b.route = func(la uint64) (int, uint64) {
+		page := la / linesPerPage
+		if hot[page] {
+			return 0, la
+		}
+		return 1 + int(page%3), la
+	}
+	b.group = []ChannelGroup{
+		{Kind: dram.RLDRAM3, Cfg: kinds[0], Chans: b.chans[:1], Ctrls: b.ctrls[:1],
+			DevicesPerAccess: 9, DevicesPerRank: 9},
+		{Kind: dram.LPDDR2, Cfg: kinds[1], Chans: b.chans[1:], Ctrls: b.ctrls[1:],
+			DevicesPerAccess: 8, DevicesPerRank: 8},
+	}
+	return b
+}

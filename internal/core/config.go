@@ -1,0 +1,260 @@
+// Package core implements the paper's contribution: the heterogeneous
+// critical-word-first (CWF) main memory architecture of §4, wired to the
+// cache hierarchy and cores of §5. It builds
+//
+//   - the all-DDR3 baseline (four 72-bit channels, Figure 5a),
+//   - homogeneous all-LPDDR2 / all-RLDRAM3 systems (Figures 1 and 9),
+//   - the split CWF systems RD, RL and DL (§6.1): four line channels
+//     plus one aggregated critical-word channel — four x9 RLDRAM3 ranks
+//     behind a single double-pumped address/command bus (§4.2.4),
+//   - the placement policies: static word-0, adaptive (§4.2.5), oracle
+//     and random (§6.1.1), and
+//   - the §7.1 page-placement comparison system.
+package core
+
+import (
+	"fmt"
+
+	"hetsim/internal/dram"
+	"hetsim/internal/sim"
+	"hetsim/internal/trace"
+)
+
+// Placement selects which word of each line lives on the critical
+// (low-latency) channel.
+type Placement int
+
+// Placement policies.
+const (
+	// PlaceStatic always stores word 0 on the critical channel
+	// (§4.2.2: word 0 is critical for 67% of fetches suite-wide).
+	PlaceStatic Placement = iota
+	// PlaceAdaptive lets every line designate its last observed
+	// critical word, re-organized on dirty write-back (§4.2.5).
+	PlaceAdaptive
+	// PlaceOracle always serves the requested word from the critical
+	// channel (the RL-OR upper bound of Figure 9).
+	PlaceOracle
+	// PlaceRandom places a random (hash-fixed) word per line — the
+	// §6.1.1 control showing intelligent mapping matters.
+	PlaceRandom
+)
+
+// String names the policy.
+func (p Placement) String() string {
+	switch p {
+	case PlaceStatic:
+		return "static"
+	case PlaceAdaptive:
+		return "adaptive"
+	case PlaceOracle:
+		return "oracle"
+	case PlaceRandom:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// SystemConfig describes one complete simulated machine.
+type SystemConfig struct {
+	Name   string
+	NCores int
+
+	// LineKind is the device family of the four full-line channels.
+	LineKind dram.Kind
+	// Split enables the CWF organization: word fills come from a
+	// separate critical channel of CritKind devices.
+	Split    bool
+	CritKind dram.Kind
+
+	Placement Placement
+
+	// Prefetch enables the stride prefetcher (§6.1.1 ablation).
+	Prefetch bool
+
+	// DeepSleepLP selects the §7.2 Malladi-style LPDRAM: no ODT/DLL
+	// power and self-refresh-class deep sleep.
+	DeepSleepLP bool
+
+	// PagePlacement selects the §7.1 comparison system instead of CWF:
+	// channel 0 is a half-size full-line RLDRAM3 channel for hot pages,
+	// channels 1-3 are LPDDR2. HotPages is the offline profile.
+	PagePlacement bool
+	HotPages      map[uint64]bool
+
+	// CritParityErrorRate injects per-byte parity failures on critical
+	// word deliveries (§4.2.3): on a failure the consumer waits for
+	// the full line + SECDED instead of the early word.
+	CritParityErrorRate float64
+
+	// PrivateCritCmdBus undoes the §4.2.4 aggregation: each critical
+	// sub-channel gets its own address/command bus (and the pin cost
+	// that entails). Ablation for the shared-bus bottleneck discussed
+	// in §6.1.2.
+	PrivateCritCmdBus bool
+
+	// WideCritRank undoes the §4.2.4 sub-ranking: critical words are
+	// striped across one 4-chip 36-bit rank instead of four narrow x9
+	// ranks — shorter bursts, but 4 chips activate per access and rank
+	// parallelism collapses.
+	WideCritRank bool
+
+	// TrackPerLine enables the Figure 3 per-line critical word census.
+	TrackPerLine bool
+
+	// TraceFn, when set, receives one record per completed line fill
+	// (see internal/trace). Not part of a configuration's identity.
+	TraceFn func(trace.Record)
+
+	// LineMapping overrides the line channels' address interleaving
+	// (§5: the paper picks the open-row mapping because it gives the
+	// best-performing baseline among common schemes; this knob lets the
+	// comparison be reproduced).
+	LineMapping Mapping
+
+	// ROBSize overrides the per-core reorder buffer depth (0 = the
+	// Table 1 default of 64). Sensitivity axis for the CWF benefit.
+	ROBSize int
+
+	// FCFS replaces FR-FCFS with strict oldest-first scheduling on
+	// every controller (§5 scheduling-policy ablation).
+	FCFS bool
+
+	// ClosePageLines runs the DDR3/LPDDR2 line channels close-page
+	// instead of the paper's open-page default (§2 policy comparison).
+	ClosePageLines bool
+
+	Seed uint64
+}
+
+// Mapping selects the line channels' address interleaving scheme.
+type Mapping int
+
+// Address interleaving schemes (§5 mapping comparison).
+const (
+	// MapDefault is the open-row mapping of Jacob et al. for open-page
+	// devices (columns lowest) and bank-interleaved for close-page.
+	MapDefault Mapping = iota
+	// MapXOR permutes bank bits with low row bits (Zhang et al.).
+	MapXOR
+	// MapBankFirst round-robins consecutive lines across banks.
+	MapBankFirst
+)
+
+// String names the mapping.
+func (m Mapping) String() string {
+	switch m {
+	case MapDefault:
+		return "open-row"
+	case MapXOR:
+		return "xor-permuted"
+	case MapBankFirst:
+		return "bank-first"
+	default:
+		return "unknown"
+	}
+}
+
+// Channels is the number of full-line channels (Table 1).
+const Channels = 4
+
+// MSHRCapacity is the LLC miss-status register file size.
+const MSHRCapacity = 128
+
+// Validate checks the configuration.
+func (c SystemConfig) Validate() error {
+	if c.NCores <= 0 || c.NCores > 64 {
+		return fmt.Errorf("core: bad core count %d", c.NCores)
+	}
+	if c.Split && c.PagePlacement {
+		return fmt.Errorf("core: split CWF and page placement are exclusive")
+	}
+	if c.Split && c.CritKind == c.LineKind && c.CritKind == dram.LPDDR2 {
+		return fmt.Errorf("core: LPDDR2 critical channel is not a modelled design point")
+	}
+	return nil
+}
+
+// Named baseline configurations of the paper's evaluation.
+
+// Baseline is the 8GB all-DDR3 system of Figure 5a.
+func Baseline(nCores int) SystemConfig {
+	return SystemConfig{Name: "DDR3-baseline", NCores: nCores,
+		LineKind: dram.DDR3, Prefetch: true}
+}
+
+// HomogeneousLPDDR2 replaces every channel with LPDDR2 (Figure 1).
+func HomogeneousLPDDR2(nCores int) SystemConfig {
+	return SystemConfig{Name: "LPDDR2-homog", NCores: nCores,
+		LineKind: dram.LPDDR2, Prefetch: true}
+}
+
+// HomogeneousRLDRAM3 replaces every channel with RLDRAM3 (Figures 1, 9),
+// ignoring its capacity shortfall as the paper does for this bound.
+func HomogeneousRLDRAM3(nCores int) SystemConfig {
+	return SystemConfig{Name: "RLDRAM3-homog", NCores: nCores,
+		LineKind: dram.RLDRAM3, Prefetch: true}
+}
+
+// RL is the flagship configuration: RLDRAM3 critical words over LPDDR2
+// lines (§6.1).
+func RL(nCores int) SystemConfig {
+	return SystemConfig{Name: "RL", NCores: nCores,
+		LineKind: dram.LPDDR2, Split: true, CritKind: dram.RLDRAM3, Prefetch: true}
+}
+
+// RD is RLDRAM3 critical words over DDR3 lines.
+func RD(nCores int) SystemConfig {
+	return SystemConfig{Name: "RD", NCores: nCores,
+		LineKind: dram.DDR3, Split: true, CritKind: dram.RLDRAM3, Prefetch: true}
+}
+
+// DL is DDR3 critical words over LPDDR2 lines (the power-lean point).
+func DL(nCores int) SystemConfig {
+	return SystemConfig{Name: "DL", NCores: nCores,
+		LineKind: dram.LPDDR2, Split: true, CritKind: dram.DDR3, Prefetch: true}
+}
+
+// HMCHetero is the §10 future-work sketch implemented: critical words
+// from a high-frequency HMC cube, lines from low-power low-frequency
+// cubes — the "critical-data-first architecture with HMCs" variant.
+func HMCHetero(nCores int) SystemConfig {
+	return SystemConfig{Name: "HMC-hetero", NCores: nCores,
+		LineKind: dram.HMCLP, Split: true, CritKind: dram.HMCFast, Prefetch: true}
+}
+
+// PagePlaced is the §7.1 comparison: profiled hot pages on a half-size
+// full-line RLDRAM3 channel, the rest on three LPDDR2 channels.
+func PagePlaced(nCores int, hot map[uint64]bool) SystemConfig {
+	return SystemConfig{Name: "page-placement", NCores: nCores,
+		LineKind: dram.LPDDR2, PagePlacement: true, HotPages: hot, Prefetch: true}
+}
+
+// RunScale sizes a run.
+type RunScale struct {
+	// PrewarmOps functionally replays this many memory operations per
+	// core into the caches before timing starts (no cycles elapse):
+	// the checkpoint-restore step that puts the LLC into eviction
+	// steady state, so write-back-driven behaviour (adaptive
+	// placement, §4.2.5) is visible in short runs.
+	PrewarmOps   uint64
+	WarmupReads  uint64
+	MeasureReads uint64
+	MaxCycles    sim.Cycle
+}
+
+// TestScale is the fast scale used by unit tests.
+func TestScale() RunScale {
+	return RunScale{PrewarmOps: 20_000, WarmupReads: 500, MeasureReads: 3000, MaxCycles: 30_000_000}
+}
+
+// BenchScale is used by the bench harness figures.
+func BenchScale() RunScale {
+	return RunScale{PrewarmOps: 120_000, WarmupReads: 2000, MeasureReads: 20_000, MaxCycles: 200_000_000}
+}
+
+// PaperScale mirrors §5: 2M DRAM reads after a warm start.
+func PaperScale() RunScale {
+	return RunScale{PrewarmOps: 300_000, WarmupReads: 100_000, MeasureReads: 2_000_000, MaxCycles: 1 << 40}
+}

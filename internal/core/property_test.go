@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetsim/internal/trace"
+	"hetsim/internal/workload"
+)
+
+// randomSpec builds a small but valid workload from fuzz inputs.
+func randomSpec(gapSel, storeSel, depSel, seqSel, reuseSel, w0Sel uint8) workload.Spec {
+	w0 := 0.1 + float64(w0Sel%80)/100 // 0.10 .. 0.89
+	var crit [8]float64
+	crit[0] = w0
+	rest := (1 - w0) / 7
+	for i := 1; i < 8; i++ {
+		crit[i] = rest
+	}
+	return workload.Spec{
+		Name:         "fuzz",
+		Suite:        "TEST",
+		Class:        workload.Mixed,
+		GapMean:      20 + float64(gapSel%200),
+		StoreFrac:    float64(storeSel%60) / 100,
+		FootprintMB:  4 + int(seqSel%16),
+		SeqRun:       1 + float64(seqSel%30),
+		DepFrac:      float64(depSel%70) / 100,
+		PageZipf:     0.5,
+		CritDist:     crit,
+		ReuseProb:    float64(reuseSel%70) / 100,
+		ReuseGapMean: 50 + float64(reuseSel)*4,
+		MidReuseProb: float64(depSel%40) / 100,
+	}
+}
+
+// TestSystemInvariantsProperty fuzzes workload shapes through the full
+// RL system and checks protocol invariants: the run terminates, every
+// measured read is accounted, the fast-served count never exceeds
+// demand fills, and word fractions form a distribution.
+func TestSystemInvariantsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzing the full system is not short")
+	}
+	f := func(gapSel, storeSel, depSel, seqSel, reuseSel, w0Sel uint8, adaptive bool) bool {
+		spec := randomSpec(gapSel, storeSel, depSel, seqSel, reuseSel, w0Sel)
+		if err := spec.Validate(); err != nil {
+			t.Logf("invalid fuzz spec: %v", err)
+			return false
+		}
+		cfg := RL(2)
+		if adaptive {
+			cfg.Placement = PlaceAdaptive
+		}
+		sys, err := NewSystem(cfg, spec)
+		if err != nil {
+			t.Logf("NewSystem: %v", err)
+			return false
+		}
+		res := sys.Run(RunScale{PrewarmOps: 5000, WarmupReads: 50,
+			MeasureReads: 600, MaxCycles: 30_000_000})
+		if res.Cycles <= 0 {
+			return false
+		}
+		if res.DemandReads == 0 {
+			return false
+		}
+		if res.CritFromFastFrac < 0 || res.CritFromFastFrac > 1 {
+			return false
+		}
+		var sum float64
+		for _, f := range res.CritWordFrac {
+			if f < 0 {
+				return false
+			}
+			sum += f
+		}
+		if sum > 1.01 {
+			return false
+		}
+		if res.BusUtil < 0 || res.BusUtil > 1 {
+			return false
+		}
+		return res.SumIPC > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceDeterminism: identical runs emit byte-identical fill traces.
+func TestTraceDeterminism(t *testing.T) {
+	run := func() []trace.Record {
+		var recs []trace.Record
+		cfg := RL(2)
+		cfg.TraceFn = func(r trace.Record) { recs = append(recs, r) }
+		sys, err := NewSystem(cfg, mustSpec(t, "soplex"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(RunScale{WarmupReads: 100, MeasureReads: 800, MaxCycles: 20_000_000})
+		return recs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"hetsim/internal/cpu"
+	"hetsim/internal/dram"
+	"hetsim/internal/memctrl"
+	"hetsim/internal/power"
+	"hetsim/internal/sim"
+	"hetsim/internal/workload"
+)
+
+// System is one complete simulated machine running one workload.
+type System struct {
+	Eng   *sim.Engine
+	Cfg   SystemConfig
+	Spec  workload.Spec
+	Cores []*cpu.Core
+	Hier  *Hierarchy
+	mem   backend
+	gens  []*workload.Generator
+}
+
+// coreRegionBytes is the address-space slice per multiprogrammed copy.
+const coreRegionBytes = 1 << 30 // 1GB each, 8GB total (Table 1)
+
+// NewSystem wires a machine for the given benchmark.
+func NewSystem(cfg SystemConfig, spec workload.Spec) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	eng := &sim.Engine{}
+	mem, err := buildBackend(eng, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{Eng: eng, Cfg: cfg, Spec: spec, mem: mem}
+	applyLineMapping(mem, cfg.LineMapping)
+	if cfg.FCFS {
+		for _, g := range mem.Groups() {
+			for _, ctrl := range g.Ctrls {
+				ctrl.Cfg.FCFS = true
+			}
+		}
+	}
+	s.Hier = newHierarchy(eng, cfg, mem, spec.Multithreaded)
+	coreCfg := cpu.DefaultConfig()
+	if cfg.ROBSize > 0 {
+		coreCfg.ROBSize = cfg.ROBSize
+	}
+	for i := 0; i < cfg.NCores; i++ {
+		base := uint64(0)
+		if !spec.Multithreaded {
+			base = uint64(i) * coreRegionBytes
+		}
+		gen := workload.NewGenerator(spec, i, cfg.NCores, base, cfg.Seed+1)
+		s.gens = append(s.gens, gen)
+		s.Cores = append(s.Cores, cpu.New(i, coreCfg, gen, s.Hier))
+	}
+	return s, nil
+}
+
+// applyLineMapping overrides the address interleaving of the backend's
+// first channel group (the line channels). Close-page groups keep their
+// bank-interleaved mapping: the alternatives below are open-page
+// schemes.
+func applyLineMapping(mem backend, m Mapping) {
+	if m == MapDefault {
+		return
+	}
+	g := mem.Groups()[0]
+	if g.Cfg.Policy == dram.ClosePage {
+		return
+	}
+	for _, ctrl := range g.Ctrls {
+		switch m {
+		case MapXOR:
+			ctrl.Map = memctrl.XORMapper{Geom: g.Cfg.Geom, Ranks: 1}
+		case MapBankFirst:
+			ctrl.Map = memctrl.BankFirstMapper{Geom: g.Cfg.Geom, Ranks: 1}
+		}
+	}
+}
+
+// buildBackend assembles the memory organization for a config.
+func buildBackend(eng *sim.Engine, cfg SystemConfig) (backend, error) {
+	switch {
+	case cfg.PagePlacement:
+		return newPagePlaced(eng, cfg.HotPages, cfg.DeepSleepLP), nil
+	case cfg.Split:
+		lineCfg, err := lineConfigFor(cfg.LineKind)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.ClosePageLines {
+			lineCfg.Policy = dram.ClosePage
+		}
+		var critCfg dram.Config
+		switch cfg.CritKind {
+		case dram.RLDRAM3:
+			critCfg = dram.RLDRAM3WordConfig()
+		case dram.DDR3:
+			critCfg = dram.DDR3WordConfig()
+		case dram.HMCFast:
+			critCfg = dram.HMCFastWordConfig()
+		default:
+			return nil, fmt.Errorf("core: unsupported critical channel kind %v", cfg.CritKind)
+		}
+		return newCWF(eng, lineCfg, critCfg, cwfOptions{
+			deepSleep:     cfg.DeepSleepLP,
+			privateCmdBus: cfg.PrivateCritCmdBus,
+			wideRank:      cfg.WideCritRank,
+		}), nil
+	default:
+		lineCfg, err := lineConfigFor(cfg.LineKind)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.ClosePageLines {
+			lineCfg.Policy = dram.ClosePage
+		}
+		return newHomogeneous(eng, lineCfg, Channels, cfg.DeepSleepLP), nil
+	}
+}
+
+func lineConfigFor(kind dram.Kind) (dram.Config, error) {
+	switch kind {
+	case dram.DDR3:
+		return dram.DDR3Config(), nil
+	case dram.LPDDR2:
+		return dram.LPDDR2Config(), nil
+	case dram.RLDRAM3:
+		return dram.RLDRAM3Config(), nil
+	case dram.HMCLP:
+		return dram.HMCLPLineConfig(), nil
+	default:
+		return dram.Config{}, fmt.Errorf("core: unknown line kind %v", kind)
+	}
+}
+
+// Results are the measured outputs of one run.
+type Results struct {
+	Benchmark string
+	Config    string
+
+	Cycles     sim.Cycle
+	IPCs       []float64
+	SumIPC     float64
+	Throughput float64 // weighted speedup vs baseline-memory alone run
+	// ThroughputSelf normalizes against an alone run on the *same*
+	// memory system (the literal §5 formula); it isolates the
+	// sharing-induced degradation and cancels raw device latency.
+	ThroughputSelf float64
+	DemandReads    uint64
+
+	// Figure 7: mean requested-critical-word latency (CPU cycles).
+	CritLatency float64
+	// Figure 1b components over line-channel reads.
+	QueueLat, CoreLat, XferLat float64
+	// Figure 8: fraction of critical words served by the fast channel.
+	CritFromFastFrac float64
+	// Figure 4: requested-word distribution at the DRAM level.
+	CritWordFrac [8]float64
+
+	// §6.1.3 energy.
+	DRAMEnergyMJ float64
+	DRAMPowerMW  float64
+	BusUtil      float64 // line-channel data bus utilization
+
+	// §6.1.1: fraction of line-reuse gaps at least the LPDDR2 line
+	// latency (latency tolerance of second accesses).
+	ReuseGapFracOK float64
+
+	ParityErrors uint64
+	MergedMisses uint64
+	Writebacks   uint64
+}
+
+// groupSnap freezes one channel group's counters.
+type groupSnap struct {
+	acts, reads, writes, refs uint64
+	dataBusy                  sim.Cycle
+	state                     [3]sim.Cycle
+}
+
+type snapshot struct {
+	cycles sim.Cycle
+
+	demand, served, merged, wb, parity uint64
+	critHist                           [8]uint64
+	critLatSum                         float64
+	critLatN                           int64
+
+	qSum, cSum, xSum float64
+	rN               int64
+
+	groups []groupSnap
+}
+
+func (s *System) snap() snapshot {
+	now := s.Eng.Now()
+	st := s.Hier.Stat
+	sn := snapshot{
+		cycles: now,
+		demand: st.DemandFills, served: st.CritServedFast,
+		merged: st.MergedMisses, wb: st.Writebacks, parity: st.ParityErrors,
+		critHist:   st.CritWordHist,
+		critLatSum: st.CritLatency.Sum(), critLatN: st.CritLatency.N(),
+	}
+	for _, g := range s.mem.Groups() {
+		var gs groupSnap
+		for _, ch := range g.Chans {
+			ch.Finalize(now)
+			gs.acts += ch.Stat.Acts
+			gs.reads += ch.Stat.Reads
+			gs.writes += ch.Stat.Writes
+			gs.refs += ch.Stat.Refreshes
+			gs.dataBusy += ch.Stat.DataBusy
+			for rk := 0; rk < ch.Ranks(); rk++ {
+				gs.state[0] += ch.StateCycles(rk, dram.PSActive)
+				gs.state[1] += ch.StateCycles(rk, dram.PSPowerDown)
+				gs.state[2] += ch.StateCycles(rk, dram.PSDeepPowerDown)
+			}
+		}
+		sn.groups = append(sn.groups, gs)
+		for _, c := range g.Ctrls {
+			sn.qSum += c.Stats.Reads.Queue.Sum()
+			sn.cSum += c.Stats.Reads.Core.Sum()
+			sn.xSum += c.Stats.Reads.Xfer.Sum()
+			sn.rN += c.Stats.Reads.N()
+		}
+	}
+	return sn
+}
+
+// Run executes prewarm, warmup, then a measured window.
+func (s *System) Run(scale RunScale) Results {
+	s.prewarm(scale.PrewarmOps)
+	// Warmup.
+	warmTarget := s.Hier.Stat.DemandFills + scale.WarmupReads
+	s.drive(func() bool { return s.Hier.Stat.DemandFills >= warmTarget },
+		s.Eng.Now()+scale.MaxCycles/4)
+
+	for _, c := range s.Cores {
+		c.ResetStats()
+	}
+	start := s.snap()
+
+	target := s.Hier.Stat.DemandFills + scale.MeasureReads
+	s.drive(func() bool { return s.Hier.Stat.DemandFills >= target },
+		start.cycles+scale.MaxCycles)
+	end := s.snap()
+
+	return s.collect(start, end)
+}
+
+// prewarm replays ops per core into the caches functionally (see
+// RunScale.PrewarmOps). The generators advance, so the timed run
+// resumes exactly where the replay stopped, with its history intact.
+func (s *System) prewarm(ops uint64) {
+	if ops == 0 {
+		return
+	}
+	for i := 0; i < s.Cfg.NCores; i++ {
+		gen := s.gens[i]
+		for n := uint64(0); n < ops; n++ {
+			op := gen.Next()
+			s.Hier.Prewarm(i, op.Addr, op.Store)
+		}
+	}
+}
+
+// collect computes Results from two snapshots.
+func (s *System) collect(start, end snapshot) Results {
+	elapsed := end.cycles - start.cycles
+	if elapsed <= 0 {
+		elapsed = 1
+	}
+	r := Results{
+		Benchmark:    s.Spec.Name,
+		Config:       s.Cfg.Name,
+		Cycles:       elapsed,
+		DemandReads:  end.demand - start.demand,
+		MergedMisses: end.merged - start.merged,
+		Writebacks:   end.wb - start.wb,
+		ParityErrors: end.parity - start.parity,
+	}
+	for _, c := range s.Cores {
+		ipc := c.IPC(elapsed)
+		r.IPCs = append(r.IPCs, ipc)
+		r.SumIPC += ipc
+	}
+	if n := end.critLatN - start.critLatN; n > 0 {
+		r.CritLatency = (end.critLatSum - start.critLatSum) / float64(n)
+	}
+	if r.DemandReads > 0 {
+		r.CritFromFastFrac = float64(end.served-start.served) / float64(r.DemandReads)
+		for w := 0; w < 8; w++ {
+			r.CritWordFrac[w] = float64(end.critHist[w]-start.critHist[w]) / float64(r.DemandReads)
+		}
+	}
+	if n := end.rN - start.rN; n > 0 {
+		r.QueueLat = (end.qSum - start.qSum) / float64(n)
+		r.CoreLat = (end.cSum - start.cSum) / float64(n)
+		r.XferLat = (end.xSum - start.xSum) / float64(n)
+	}
+
+	// Energy over the measured window.
+	groups := s.mem.Groups()
+	var lineBusy sim.Cycle
+	var lineChans int
+	for gi, g := range groups {
+		d := diffGroup(end.groups[gi], start.groups[gi])
+		chip := power.ChipFor(g.Kind)
+		if g.Kind == dram.LPDDR2 && s.Cfg.DeepSleepLP {
+			chip = power.LPDDR2MalladiChip()
+		}
+		act := power.ChannelActivity{
+			Elapsed:      elapsed,
+			ActiveCycles: d.state[0], PDCycles: d.state[1], DeepCycles: d.state[2],
+			Acts: d.acts, Reads: d.reads, Writes: d.writes, Refreshes: d.refs,
+			DevicesPerRank: g.DevicesPerRank, DevicesPerAccess: g.DevicesPerAccess,
+		}
+		r.DRAMEnergyMJ += power.ChannelEnergyMJ(chip, power.TimingFor(g.Cfg.Timing), act)
+		if gi == 0 {
+			lineBusy = d.dataBusy
+			lineChans = len(g.Chans)
+		}
+	}
+	r.DRAMPowerMW = power.PowerMW(r.DRAMEnergyMJ, elapsed)
+	if lineChans > 0 {
+		r.BusUtil = float64(lineBusy) / float64(elapsed*sim.Cycle(lineChans))
+	}
+
+	// Latency tolerance of second accesses (§6.1.1): compare reuse gaps
+	// against the LPDDR2 line-fill latency.
+	lpLat := float64(dram.LPDDR2Timing().TRCD + dram.LPDDR2Timing().TRL + dram.LPDDR2Timing().Burst)
+	r.ReuseGapFracOK = 1 - s.Hier.Stat.ReuseGaps.FracBelow(lpLat)
+	return r
+}
+
+func diffGroup(end, start groupSnap) groupSnap {
+	return groupSnap{
+		acts: end.acts - start.acts, reads: end.reads - start.reads,
+		writes: end.writes - start.writes, refs: end.refs - start.refs,
+		dataBusy: end.dataBusy - start.dataBusy,
+		state: [3]sim.Cycle{end.state[0] - start.state[0],
+			end.state[1] - start.state[1], end.state[2] - start.state[2]},
+	}
+}
+
+// drive is the main simulation loop: it interleaves the event engine
+// with cycle-stepped cores until stop() or the cycle cap.
+func (s *System) drive(stop func() bool, maxCycles sim.Cycle) {
+	eng := s.Eng
+	now := eng.Now()
+	n := len(s.Cores)
+	wakes := make([]sim.Cycle, n)
+	for i := range wakes {
+		wakes[i] = now
+	}
+	const checkEvery = 64
+	iter := 0
+	for now < maxCycles {
+		iter++
+		if iter%checkEvery == 0 && stop() {
+			return
+		}
+		eng.RunUntil(now)
+		for i, c := range s.Cores {
+			if c.WakePending() {
+				wakes[i] = now
+			}
+			if wakes[i] <= now {
+				wakes[i] = c.Step(now)
+			}
+		}
+		// Flush events the steps scheduled for this cycle (controller
+		// kicks run at the current cycle).
+		eng.RunUntil(now)
+
+		next := sim.Cycle(1<<62 - 1)
+		for i, c := range s.Cores {
+			if c.HasWake() {
+				next = now + 1
+				break
+			}
+			if wakes[i] < next {
+				next = wakes[i]
+			}
+		}
+		if t, ok := eng.PeekNext(); ok && t < next {
+			next = t
+		}
+		if next >= 1<<62-1 {
+			panic(fmt.Sprintf("core: deadlock at cycle %d: all cores blocked with no pending events (mshr=%d)",
+				now, s.Hier.MSHROccupancy()))
+		}
+		if next <= now {
+			next = now + 1
+		}
+		now = next
+	}
+	eng.RunUntil(maxCycles)
+}
+
+// RunPair measures the paper's throughput metric for one benchmark and
+// config: Σᵢ IPCᵢ(shared 8-core run) / IPCᵢ_alone (§5). The stand-alone
+// reference is a single-core run on the *baseline* DDR3 memory system
+// (with the same prefetcher setting), so that throughput ratios between
+// memory organizations reflect their shared-run behaviour — this is how
+// the paper's normalized figures read.
+func RunPair(cfg SystemConfig, spec workload.Spec, scale RunScale) (Results, error) {
+	sharedSys, err := NewSystem(cfg, spec)
+	if err != nil {
+		return Results{}, err
+	}
+	res := sharedSys.Run(scale)
+
+	aloneScale := scale
+	aloneScale.WarmupReads = scale.WarmupReads / 4
+	aloneScale.MeasureReads = scale.MeasureReads / 4
+
+	baseCfg := Baseline(1)
+	baseCfg.Prefetch = cfg.Prefetch
+	baseCfg.Seed = cfg.Seed
+	baseSys, err := NewSystem(baseCfg, spec)
+	if err != nil {
+		return Results{}, err
+	}
+	alone := baseSys.Run(aloneScale)
+	if len(alone.IPCs) > 0 && alone.IPCs[0] > 0 {
+		res.Throughput = res.SumIPC / alone.IPCs[0]
+	}
+
+	selfCfg := cfg
+	selfCfg.NCores = 1
+	selfSys, err := NewSystem(selfCfg, spec)
+	if err != nil {
+		return Results{}, err
+	}
+	selfAlone := selfSys.Run(aloneScale)
+	if len(selfAlone.IPCs) > 0 && selfAlone.IPCs[0] > 0 {
+		res.ThroughputSelf = res.SumIPC / selfAlone.IPCs[0]
+	}
+	return res, nil
+}
+
+// CSVHeader lists the column names of CSVRow, for sweep tooling.
+func (Results) CSVHeader() []string {
+	return []string{"benchmark", "config", "cycles", "demand_reads",
+		"sum_ipc", "throughput", "throughput_self", "crit_latency",
+		"queue_lat", "core_lat", "xfer_lat", "crit_fast_frac",
+		"bus_util", "dram_energy_mj", "dram_power_mw",
+		"writebacks", "merged_misses", "parity_errors"}
+}
+
+// CSVRow renders the results as strings matching CSVHeader.
+func (r Results) CSVRow() []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	return []string{
+		r.Benchmark, r.Config,
+		strconv.FormatInt(int64(r.Cycles), 10),
+		strconv.FormatUint(r.DemandReads, 10),
+		f(r.SumIPC), f(r.Throughput), f(r.ThroughputSelf), f(r.CritLatency),
+		f(r.QueueLat), f(r.CoreLat), f(r.XferLat), f(r.CritFromFastFrac),
+		f(r.BusUtil), f(r.DRAMEnergyMJ), f(r.DRAMPowerMW),
+		strconv.FormatUint(r.Writebacks, 10),
+		strconv.FormatUint(r.MergedMisses, 10),
+		strconv.FormatUint(r.ParityErrors, 10),
+	}
+}

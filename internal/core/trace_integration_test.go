@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"hetsim/internal/trace"
+)
+
+// TestTraceInvariants runs a split system with the trace hook attached
+// and checks that every emitted record is internally consistent and
+// consistent with the aggregate Results.
+func TestTraceInvariants(t *testing.T) {
+	var recs []trace.Record
+	cfg := RL(4)
+	cfg.TraceFn = func(r trace.Record) { recs = append(recs, r) }
+	sys, err := NewSystem(cfg, mustSpec(t, "leslie3d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(quickScale())
+	if len(recs) == 0 {
+		t.Fatal("no trace records")
+	}
+
+	demand := 0
+	servedFast := 0
+	lineSet := map[uint64]bool{}
+	for i, r := range recs {
+		if r.Done < r.Born {
+			t.Fatalf("record %d: Done %d < Born %d", i, r.Done, r.Born)
+		}
+		// CritAt may precede Born for promoted prefetches (Born resets
+		// at promotion time), but a served-fast fill always has its
+		// word arrive after allocation.
+		if r.ServedFast() && r.CritAt < r.Born {
+			t.Fatalf("record %d: served fast with CritAt %d < Born %d", i, r.CritAt, r.Born)
+		}
+		if r.MissWord < 0 || r.MissWord > 7 || r.CritWord < 0 || r.CritWord > 7 {
+			t.Fatalf("record %d: word indices out of range: %+v", i, r)
+		}
+		// Static placement: the placed word is always 0.
+		if r.CritWord != 0 {
+			t.Fatalf("record %d: static placement emitted crit word %d", i, r.CritWord)
+		}
+		// The fast path must genuinely lead the line for served-fast
+		// demand fills.
+		if r.ServedFast() && r.CritAt >= r.Done {
+			t.Fatalf("record %d: served fast but CritAt %d >= Done %d", i, r.CritAt, r.Done)
+		}
+		if !r.Prefetch && !r.Store {
+			demand++
+			if r.ServedFast() {
+				servedFast++
+			}
+		}
+		lineSet[r.LineAddr] = true
+	}
+	// Trace demand fills include warmup; they must cover at least the
+	// measured reads.
+	if uint64(demand) < res.DemandReads {
+		t.Fatalf("trace demand %d < measured %d", demand, res.DemandReads)
+	}
+	// The served-fast fraction in the trace must roughly agree with
+	// the measured one (the trace also spans warmup).
+	frac := float64(servedFast) / float64(demand)
+	if frac < res.CritFromFastFrac-0.15 || frac > res.CritFromFastFrac+0.15 {
+		t.Errorf("trace fast frac %.3f vs results %.3f", frac, res.CritFromFastFrac)
+	}
+	if len(lineSet) < 100 {
+		t.Errorf("trace covers only %d distinct lines", len(lineSet))
+	}
+
+	summary := trace.Summarize(recs)
+	if summary.Demand != demand || summary.ServedFast != servedFast {
+		t.Errorf("summary disagrees with manual count: %+v", summary)
+	}
+}
+
+// TestRunStopsAtMaxCycles guards the cycle cap: a config that cannot
+// reach its read target must still terminate.
+func TestRunStopsAtMaxCycles(t *testing.T) {
+	cfg := Baseline(1)
+	sys, err := NewSystem(cfg, mustSpec(t, "ep")) // nearly compute-bound
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(RunScale{WarmupReads: 10, MeasureReads: 1 << 40, MaxCycles: 300_000})
+	if res.Cycles > 700_000 {
+		t.Fatalf("run did not respect MaxCycles: %d", res.Cycles)
+	}
+}
+
+// TestPrewarmFillsLLC checks that the functional prewarm actually puts
+// the LLC into eviction steady state.
+func TestPrewarmFillsLLC(t *testing.T) {
+	spec := mustSpec(t, "mcf")
+	cfg := RL(4)
+	sys, err := NewSystem(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(RunScale{PrewarmOps: 150_000, WarmupReads: 200,
+		MeasureReads: 3000, MaxCycles: 40_000_000})
+	if res.Writebacks < 100 {
+		t.Fatalf("writebacks = %d; LLC not in eviction steady state", res.Writebacks)
+	}
+
+	cold, err := NewSystem(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes := cold.Run(RunScale{WarmupReads: 200, MeasureReads: 3000, MaxCycles: 40_000_000})
+	if coldRes.Writebacks >= res.Writebacks {
+		t.Fatalf("cold start wrote back more (%d) than prewarmed (%d)",
+			coldRes.Writebacks, res.Writebacks)
+	}
+}
+
+// TestPrewarmDeterministic: prewarmed runs stay deterministic.
+func TestPrewarmDeterministic(t *testing.T) {
+	run := func() Results {
+		sys, err := NewSystem(RL(2), mustSpec(t, "soplex"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run(RunScale{PrewarmOps: 30_000, WarmupReads: 200,
+			MeasureReads: 1500, MaxCycles: 30_000_000})
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.SumIPC != b.SumIPC {
+		t.Fatalf("prewarmed runs diverged: %d vs %d cycles", a.Cycles, b.Cycles)
+	}
+}

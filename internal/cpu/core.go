@@ -1,0 +1,296 @@
+// Package cpu models the out-of-order cores of Table 1 as ROB-occupancy
+// limit studies: a 64-entry reorder buffer with 4-wide fetch/dispatch/
+// retire, single-cycle ALU operations, posted stores, and loads that
+// resolve through a cache/memory port. What the model captures — and
+// what the paper's mechanism needs — is exactly when the ROB head stalls
+// on a missing load and when the returning (critical) word un-stalls it,
+// including pointer-chase serialization where the next load's address
+// depends on the previous load's data.
+package cpu
+
+import (
+	"fmt"
+
+	"hetsim/internal/sim"
+)
+
+// MemOp is one memory instruction in a workload trace, preceded by Gap
+// plain ALU instructions.
+type MemOp struct {
+	Gap     int
+	Addr    uint64
+	Store   bool
+	DepPrev bool // address depends on the previous load (pointer chase)
+}
+
+// Trace is an infinite instruction stream.
+type Trace interface {
+	Next() MemOp
+}
+
+// AccessStatus classifies a port access.
+type AccessStatus int
+
+// Access outcomes.
+const (
+	AccessL1Hit AccessStatus = iota
+	AccessL2Hit
+	AccessMiss  // wake() will fire when the needed word arrives
+	AccessRetry // structural hazard (MSHR/queue full): try again later
+)
+
+// Port is the cache hierarchy as seen by one core. For AccessMiss the
+// port must eventually call wake (from engine context). Stores never
+// take a wake callback (they are posted).
+type Port interface {
+	Access(coreID int, addr uint64, store bool, wake func()) AccessStatus
+}
+
+// Config sizes the core (Table 1 defaults via DefaultConfig).
+type Config struct {
+	ROBSize   int
+	Width     int
+	L1Latency sim.Cycle
+	L2Latency sim.Cycle
+}
+
+// DefaultConfig is the Table 1 core: 64-entry ROB, 4-wide, 1-cycle L1,
+// 10-cycle L2.
+func DefaultConfig() Config {
+	return Config{ROBSize: 64, Width: 4, L1Latency: 1, L2Latency: 10}
+}
+
+// WaitForever is the wake time reported by a core that can make no
+// progress until a memory response arrives.
+const WaitForever = sim.Cycle(1<<62 - 1)
+
+// loadTicket tracks resolution of one load for dependent instructions.
+type loadTicket struct {
+	resolved bool
+	at       sim.Cycle
+}
+
+func (l *loadTicket) ready(now sim.Cycle) bool { return l.resolved && now >= l.at }
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	isLoad     bool
+	waitingMem bool      // load miss outstanding
+	completeAt sim.Cycle // valid when !waitingMem
+	ticket     *loadTicket
+}
+
+// Stats aggregates per-core performance counters.
+type Stats struct {
+	Retired     uint64
+	Loads       uint64
+	Stores      uint64
+	LoadMisses  uint64 // LLC misses (port returned AccessMiss)
+	RetryStalls uint64
+	DepStalls   uint64
+}
+
+// Core is one simulated core. Drive it with Step; the return value is
+// the next cycle the core needs stepping (WaitForever = wake me on a
+// memory response). WakePending reports an intervening wake.
+type Core struct {
+	ID   int
+	Cfg  Config
+	Port Port
+
+	trace Trace
+
+	rob   []robEntry
+	head  int
+	count int
+
+	pendingGap int
+	nextOp     MemOp
+	haveOp     bool
+
+	lastLoad *loadTicket
+
+	wakePending bool
+	Stat        Stats
+}
+
+// New builds a core reading trace through port.
+func New(id int, cfg Config, trace Trace, port Port) *Core {
+	if cfg.ROBSize <= 0 || cfg.Width <= 0 {
+		panic("cpu: invalid core config")
+	}
+	return &Core{ID: id, Cfg: cfg, Port: port, trace: trace,
+		rob: make([]robEntry, cfg.ROBSize)}
+}
+
+// WakePending reports (and clears) whether a memory response arrived
+// since the last Step, requiring an immediate re-step.
+func (c *Core) WakePending() bool {
+	w := c.wakePending
+	c.wakePending = false
+	return w
+}
+
+// HasWake reports a pending wake without clearing it (driver lookahead).
+func (c *Core) HasWake() bool { return c.wakePending }
+
+// entryAt returns the i-th oldest ROB entry.
+func (c *Core) entryAt(i int) *robEntry {
+	return &c.rob[(c.head+i)%len(c.rob)]
+}
+
+// Step advances the core by one cycle at time now and returns the next
+// cycle the core wants stepping.
+func (c *Core) Step(now sim.Cycle) sim.Cycle {
+	c.retire(now)
+	// Fast-forward a pure compute burst: with the ROB drained and a
+	// long run of 1-cycle ALU work ahead, throughput is exactly Width
+	// per cycle, so the burst is consumed analytically. A ROB's worth
+	// is kept back to re-enter cycle-accurate mode smoothly.
+	if c.count == 0 && c.pendingGap > 2*c.Cfg.ROBSize {
+		burst := c.pendingGap - c.Cfg.ROBSize
+		c.pendingGap -= burst
+		c.Stat.Retired += uint64(burst)
+		return now + sim.Cycle((burst+c.Cfg.Width-1)/c.Cfg.Width)
+	}
+	c.dispatch(now)
+	return c.nextWake(now)
+}
+
+// retire commits up to Width completed instructions in order.
+func (c *Core) retire(now sim.Cycle) {
+	for n := 0; n < c.Cfg.Width && c.count > 0; n++ {
+		e := &c.rob[c.head]
+		if e.waitingMem || now < e.completeAt {
+			return
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		c.Stat.Retired++
+	}
+}
+
+// dispatch brings up to Width new instructions into the ROB.
+func (c *Core) dispatch(now sim.Cycle) {
+	for n := 0; n < c.Cfg.Width; n++ {
+		if c.count == len(c.rob) {
+			return
+		}
+		if c.pendingGap == 0 && !c.haveOp {
+			c.nextOp = c.trace.Next()
+			c.haveOp = true
+			c.pendingGap = c.nextOp.Gap
+		}
+		if c.pendingGap > 0 {
+			c.pushPlain(now)
+			c.pendingGap--
+			continue
+		}
+		// A memory op is at the front.
+		op := c.nextOp
+		if op.DepPrev && c.lastLoad != nil && !c.lastLoad.ready(now) {
+			c.Stat.DepStalls++
+			return
+		}
+		if !c.issueMem(now, op) {
+			c.Stat.RetryStalls++
+			return
+		}
+		c.haveOp = false
+	}
+}
+
+// pushPlain dispatches one ALU instruction (1-cycle execute).
+func (c *Core) pushPlain(now sim.Cycle) {
+	e := c.entryAt(c.count)
+	*e = robEntry{completeAt: now + 1}
+	c.count++
+}
+
+// issueMem dispatches a load or store; false means a structural hazard
+// blocked it (retry next cycle).
+func (c *Core) issueMem(now sim.Cycle, op MemOp) bool {
+	e := c.entryAt(c.count)
+	if op.Store {
+		status := c.Port.Access(c.ID, op.Addr, true, nil)
+		if status == AccessRetry {
+			return false
+		}
+		// Posted: the store buffer hides everything beyond dispatch.
+		*e = robEntry{completeAt: now + 1}
+		c.count++
+		c.Stat.Stores++
+		return true
+	}
+
+	ticket := &loadTicket{}
+	*e = robEntry{isLoad: true, ticket: ticket}
+	status := c.Port.Access(c.ID, op.Addr, false, func() {
+		c.wakeLoad(e, ticket)
+	})
+	switch status {
+	case AccessRetry:
+		return false
+	case AccessL1Hit:
+		e.completeAt = now + c.Cfg.L1Latency
+	case AccessL2Hit:
+		e.completeAt = now + c.Cfg.L2Latency
+	case AccessMiss:
+		e.waitingMem = true
+		c.Stat.LoadMisses++
+	default:
+		panic(fmt.Sprintf("cpu: unknown access status %d", status))
+	}
+	if !e.waitingMem {
+		ticket.resolved = true
+		ticket.at = e.completeAt
+	}
+	c.count++
+	c.Stat.Loads++
+	c.lastLoad = ticket
+	return true
+}
+
+// wakeLoad is invoked by the port when a missing load's word arrives.
+func (c *Core) wakeLoad(e *robEntry, ticket *loadTicket) {
+	if !e.waitingMem || e.ticket != ticket {
+		// The entry was recycled (should not happen: entries stay in
+		// the ROB until retire, and retire requires completion).
+		panic("cpu: wake for a recycled ROB entry")
+	}
+	e.waitingMem = false
+	e.completeAt = 0 // data is here; retire eligibility is immediate
+	ticket.resolved = true
+	ticket.at = 0
+	c.wakePending = true
+}
+
+// nextWake computes when the core next needs stepping.
+func (c *Core) nextWake(now sim.Cycle) sim.Cycle {
+	if c.count == 0 {
+		return now + 1
+	}
+	// If the head is a pending miss and the ROB is full (or dispatch is
+	// dependency-blocked on an unresolved load), nothing changes until
+	// a wake.
+	headWaiting := c.rob[c.head].waitingMem
+	dispatchBlocked := c.count == len(c.rob) ||
+		(c.haveOp && c.pendingGap == 0 && c.nextOp.DepPrev && c.lastLoad != nil && !c.lastLoad.resolved)
+	if headWaiting && dispatchBlocked {
+		// Any non-waiting entry behind the head still finishes on its
+		// own, but nothing retires or dispatches until the wake.
+		return WaitForever
+	}
+	return now + 1
+}
+
+// IPC computes retired instructions per cycle over elapsed cycles.
+func (c *Core) IPC(elapsed sim.Cycle) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.Stat.Retired) / float64(elapsed)
+}
+
+// ResetStats zeroes the performance counters (used after cache warmup).
+func (c *Core) ResetStats() { c.Stat = Stats{} }

@@ -1,0 +1,358 @@
+package cpu
+
+import (
+	"testing"
+
+	"hetsim/internal/sim"
+)
+
+// sliceTrace replays a fixed op list then falls back to pure compute.
+type sliceTrace struct {
+	ops []MemOp
+	i   int
+}
+
+func (t *sliceTrace) Next() MemOp {
+	if t.i < len(t.ops) {
+		op := t.ops[t.i]
+		t.i++
+		return op
+	}
+	return MemOp{Gap: 1 << 20} // effectively compute forever
+}
+
+// fakePort resolves accesses with scripted outcomes.
+type fakePort struct {
+	status   AccessStatus
+	retries  int // return Retry this many times first
+	wakes    []func()
+	accesses []uint64
+}
+
+func (p *fakePort) Access(core int, addr uint64, store bool, wake func()) AccessStatus {
+	p.accesses = append(p.accesses, addr)
+	if p.retries > 0 {
+		p.retries--
+		return AccessRetry
+	}
+	if p.status == AccessMiss && !store {
+		p.wakes = append(p.wakes, wake)
+	}
+	return p.status
+}
+
+// drive steps the core until pred is true or the cycle budget runs out,
+// firing scripted wakes at the given times. Returns the final cycle.
+func drive(t *testing.T, c *Core, budget sim.Cycle, wakeAt map[sim.Cycle]int, port *fakePort) sim.Cycle {
+	t.Helper()
+	now := sim.Cycle(0)
+	for now < budget {
+		if n, ok := wakeAt[now]; ok {
+			for i := 0; i < n && len(port.wakes) > 0; i++ {
+				w := port.wakes[0]
+				port.wakes = port.wakes[1:]
+				w()
+			}
+		}
+		next := c.Step(now)
+		if c.WakePending() {
+			now++
+			continue
+		}
+		if next == WaitForever {
+			// Find the next scripted wake.
+			var best sim.Cycle = budget
+			for at := range wakeAt {
+				if at > now && at < best {
+					best = at
+				}
+			}
+			now = best
+			continue
+		}
+		if next <= now {
+			t.Fatalf("Step returned non-advancing wake %d at %d", next, now)
+		}
+		now = next
+	}
+	return now
+}
+
+func TestPureComputeIPC(t *testing.T) {
+	tr := &sliceTrace{}
+	c := New(0, DefaultConfig(), tr, &fakePort{status: AccessL1Hit})
+	end := drive(t, c, 10000, nil, nil)
+	ipc := c.IPC(end)
+	if ipc < 3.5 || ipc > 4.01 {
+		t.Fatalf("compute IPC = %v, want ~4", ipc)
+	}
+}
+
+func TestL1HitsBarelySlowPipeline(t *testing.T) {
+	ops := make([]MemOp, 200)
+	for i := range ops {
+		ops[i] = MemOp{Gap: 3, Addr: uint64(i * 8)}
+	}
+	c := New(0, DefaultConfig(), &sliceTrace{ops: ops}, &fakePort{status: AccessL1Hit})
+	end := drive(t, c, 5000, nil, nil)
+	if ipc := c.IPC(end); ipc < 3.0 {
+		t.Fatalf("L1-hit IPC = %v, want near 4", ipc)
+	}
+	if c.Stat.Loads != 200 {
+		t.Fatalf("loads = %d", c.Stat.Loads)
+	}
+}
+
+func TestMissStallsUntilWake(t *testing.T) {
+	port := &fakePort{status: AccessMiss}
+	ops := []MemOp{{Gap: 0, Addr: 64}}
+	c := New(0, DefaultConfig(), &sliceTrace{ops: ops}, port)
+
+	now := sim.Cycle(0)
+	c.Step(now)
+	if len(port.wakes) != 1 {
+		t.Fatalf("wakes registered = %d", len(port.wakes))
+	}
+	// Fill the ROB with the compute tail; eventually the core must
+	// report WaitForever (head blocked, ROB full).
+	var next sim.Cycle
+	for i := 0; i < 100; i++ {
+		now++
+		next = c.Step(now)
+		if next == WaitForever {
+			break
+		}
+	}
+	if next != WaitForever {
+		t.Fatal("core never blocked on the miss")
+	}
+	retiredBefore := c.Stat.Retired
+	// Wake at cycle 500 and confirm retirement resumes.
+	now = 500
+	port.wakes[0]()
+	if !c.WakePending() {
+		t.Fatal("wake not flagged")
+	}
+	c.Step(now)
+	c.Step(now + 1)
+	if c.Stat.Retired <= retiredBefore {
+		t.Fatal("no retirement after wake")
+	}
+}
+
+func TestIndependentMissesOverlap(t *testing.T) {
+	// Two independent miss loads must both be outstanding before either
+	// completes (memory-level parallelism).
+	port := &fakePort{status: AccessMiss}
+	ops := []MemOp{{Gap: 0, Addr: 64}, {Gap: 0, Addr: 128}}
+	c := New(0, DefaultConfig(), &sliceTrace{ops: ops}, port)
+	c.Step(0)
+	if len(port.wakes) != 2 {
+		t.Fatalf("outstanding misses = %d, want 2 (MLP)", len(port.wakes))
+	}
+}
+
+func TestDependentLoadSerializes(t *testing.T) {
+	// The second load depends on the first: it must not issue until the
+	// first's data returns.
+	port := &fakePort{status: AccessMiss}
+	ops := []MemOp{{Gap: 0, Addr: 64}, {Gap: 0, Addr: 128, DepPrev: true}}
+	c := New(0, DefaultConfig(), &sliceTrace{ops: ops}, port)
+	for now := sim.Cycle(0); now < 50; now++ {
+		c.Step(now)
+	}
+	if len(port.wakes) != 1 {
+		t.Fatalf("dependent load issued early: %d wakes", len(port.wakes))
+	}
+	if c.Stat.DepStalls == 0 {
+		t.Fatal("no dependency stalls recorded")
+	}
+	// Resolve the first load; the second must now issue.
+	port.wakes[0]()
+	c.WakePending()
+	c.Step(51)
+	c.Step(52)
+	if len(port.wakes) != 2 {
+		t.Fatalf("dependent load never issued after wake: %d", len(port.wakes))
+	}
+}
+
+func TestRetryBlocksDispatch(t *testing.T) {
+	port := &fakePort{status: AccessL1Hit, retries: 3}
+	ops := []MemOp{{Gap: 0, Addr: 64}}
+	c := New(0, DefaultConfig(), &sliceTrace{ops: ops}, port)
+	c.Step(0)
+	c.Step(1)
+	c.Step(2)
+	if c.Stat.Loads != 0 {
+		t.Fatal("load issued during retry window")
+	}
+	c.Step(3)
+	if c.Stat.Loads != 1 {
+		t.Fatalf("load not issued after retries; loads=%d", c.Stat.Loads)
+	}
+	if c.Stat.RetryStalls != 3 {
+		t.Fatalf("retry stalls = %d", c.Stat.RetryStalls)
+	}
+}
+
+func TestStoresDoNotBlockRetirement(t *testing.T) {
+	// Store misses are posted: IPC must stay near width even if every
+	// store misses.
+	ops := make([]MemOp, 100)
+	for i := range ops {
+		ops[i] = MemOp{Gap: 3, Addr: uint64(i * 64), Store: true}
+	}
+	port := &fakePort{status: AccessMiss}
+	c := New(0, DefaultConfig(), &sliceTrace{ops: ops}, port)
+	end := drive(t, c, 5000, nil, port)
+	if ipc := c.IPC(end); ipc < 3.0 {
+		t.Fatalf("store-miss IPC = %v, want near 4", ipc)
+	}
+	if c.Stat.Stores != 100 {
+		t.Fatalf("stores = %d", c.Stat.Stores)
+	}
+}
+
+func TestFastForwardCountsInstructions(t *testing.T) {
+	// A giant compute gap must be consumed at width IPC without
+	// stepping every cycle.
+	tr := &sliceTrace{ops: []MemOp{{Gap: 100000, Addr: 8}}}
+	c := New(0, DefaultConfig(), tr, &fakePort{status: AccessL1Hit})
+	now := sim.Cycle(0)
+	steps := 0
+	for now < 40000 {
+		next := c.Step(now)
+		steps++
+		if next == WaitForever {
+			t.Fatal("unexpected block")
+		}
+		now = next
+	}
+	if steps > 5000 {
+		t.Fatalf("fast-forward ineffective: %d steps for 40k cycles", steps)
+	}
+	if ipc := c.IPC(now); ipc < 3.5 {
+		t.Fatalf("fast-forward IPC = %v", ipc)
+	}
+}
+
+func TestROBNeverExceedsCapacity(t *testing.T) {
+	port := &fakePort{status: AccessMiss}
+	ops := make([]MemOp, 50)
+	for i := range ops {
+		ops[i] = MemOp{Gap: 1, Addr: uint64(i * 64)}
+	}
+	c := New(0, DefaultConfig(), &sliceTrace{ops: ops}, port)
+	for now := sim.Cycle(0); now < 200; now++ {
+		c.Step(now)
+		if c.count > c.Cfg.ROBSize {
+			t.Fatalf("ROB overflow: %d", c.count)
+		}
+	}
+	// With a 64-entry ROB and 2-instruction pairs, at most ~32 loads
+	// can be in flight.
+	if len(port.wakes) == 0 || len(port.wakes) > 33 {
+		t.Fatalf("outstanding misses = %d", len(port.wakes))
+	}
+}
+
+func TestIPCZeroElapsed(t *testing.T) {
+	c := New(0, DefaultConfig(), &sliceTrace{}, &fakePort{})
+	if c.IPC(0) != 0 {
+		t.Fatal("IPC(0) must be 0")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := New(0, DefaultConfig(), &sliceTrace{}, &fakePort{status: AccessL1Hit})
+	drive(t, c, 100, nil, nil)
+	if c.Stat.Retired == 0 {
+		t.Fatal("nothing retired")
+	}
+	c.ResetStats()
+	if c.Stat.Retired != 0 {
+		t.Fatal("stats not reset")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	New(0, Config{}, &sliceTrace{}, &fakePort{})
+}
+
+func TestHasWakeDoesNotClear(t *testing.T) {
+	port := &fakePort{status: AccessMiss}
+	c := New(0, DefaultConfig(), &sliceTrace{ops: []MemOp{{Addr: 64}}}, port)
+	c.Step(0)
+	port.wakes[0]()
+	if !c.HasWake() || !c.HasWake() {
+		t.Fatal("HasWake cleared the flag")
+	}
+	if !c.WakePending() {
+		t.Fatal("WakePending lost the flag")
+	}
+	if c.HasWake() {
+		t.Fatal("WakePending did not clear the flag")
+	}
+}
+
+func TestDependentStoreDoesNotBlockOnLoad(t *testing.T) {
+	// A store after a miss load (not DepPrev) must dispatch while the
+	// load is outstanding.
+	port := &fakePort{status: AccessMiss}
+	ops := []MemOp{{Addr: 64}, {Addr: 128, Store: true}}
+	c := New(0, DefaultConfig(), &sliceTrace{ops: ops}, port)
+	c.Step(0)
+	c.Step(1)
+	if c.Stat.Stores != 1 {
+		t.Fatalf("store not dispatched behind the miss: stores=%d", c.Stat.Stores)
+	}
+}
+
+func TestWaitForeverOnlyWhenTrulyBlocked(t *testing.T) {
+	// With a compute tail behind the missing head, the core must keep
+	// reporting progress (dispatching) until the ROB fills.
+	port := &fakePort{status: AccessMiss}
+	ops := []MemOp{{Addr: 64}, {Gap: 1000, Addr: 128}}
+	c := New(0, DefaultConfig(), &sliceTrace{ops: ops}, port)
+	sawProgress := false
+	var blocked bool
+	for now := sim.Cycle(0); now < 200; now++ {
+		next := c.Step(now)
+		if next == now+1 {
+			sawProgress = true
+		}
+		if next == WaitForever {
+			blocked = true
+			break
+		}
+	}
+	if !sawProgress {
+		t.Fatal("core never made incremental progress")
+	}
+	if !blocked {
+		t.Fatal("core never blocked with a full ROB behind a miss")
+	}
+}
+
+func TestIPCAccountsFastForwardedInstructions(t *testing.T) {
+	// The compute fast-forward must not inflate IPC beyond width.
+	tr := &sliceTrace{}
+	c := New(0, DefaultConfig(), tr, &fakePort{status: AccessL1Hit})
+	now := sim.Cycle(0)
+	for now < 100000 {
+		next := c.Step(now)
+		if next <= now {
+			t.Fatal("no progress")
+		}
+		now = next
+	}
+	if ipc := c.IPC(now); ipc > float64(c.Cfg.Width)+0.01 {
+		t.Fatalf("IPC %v exceeds width", ipc)
+	}
+}

@@ -1,0 +1,333 @@
+package dram
+
+import (
+	"fmt"
+
+	"hetsim/internal/sim"
+)
+
+// CmdBus is an address/command bus. Normally each channel owns one
+// privately, but the aggregated critical-word channel of §4.2.4 shares a
+// single double-pumped command bus between four x9 data sub-channels;
+// those sub-channels are modelled as four Channels holding the same
+// *CmdBus. One command occupies the bus for one bus cycle.
+type CmdBus struct {
+	freeAt     sim.Cycle
+	BusyCycles sim.Cycle
+}
+
+// reserve claims the bus for width cycles starting at t.
+func (c *CmdBus) reserve(t, width sim.Cycle) {
+	c.freeAt = t + width
+	c.BusyCycles += width
+}
+
+// free reports whether the bus is idle at t.
+func (c *CmdBus) free(t sim.Cycle) bool { return t >= c.freeAt }
+
+// Stats aggregates the activity counters the power model consumes.
+type Stats struct {
+	Acts       uint64
+	Reads      uint64
+	Writes     uint64
+	Refreshes  uint64
+	DataBusy   sim.Cycle
+	WakeUps    uint64
+	SleepEntry uint64
+}
+
+// AccessKind distinguishes reads from writes at the channel interface.
+type AccessKind int
+
+// Channel access kinds.
+const (
+	AccessRead AccessKind = iota
+	AccessWrite
+)
+
+// Channel is one DRAM data channel: a set of ranks behind one data bus
+// and (usually) one command bus. All methods take the current time; Try*
+// methods check every timing constraint and either apply the command's
+// side effects and return true, or change nothing and return false.
+type Channel struct {
+	Cfg Config
+	Cmd *CmdBus
+
+	ranks []*rank
+
+	dataFreeAt    sim.Cycle
+	lastDataRank  int
+	lastDataWrite bool
+
+	Stat Stats
+}
+
+// NewChannel builds a channel with nRanks ranks of cfg devices. A nil
+// shared command bus gives the channel a private one.
+func NewChannel(cfg Config, nRanks int, shared *CmdBus) *Channel {
+	if nRanks <= 0 {
+		panic("dram: channel needs at least one rank")
+	}
+	if shared == nil {
+		shared = &CmdBus{}
+	}
+	ch := &Channel{Cfg: cfg, Cmd: shared, lastDataRank: -1}
+	for i := 0; i < nRanks; i++ {
+		ch.ranks = append(ch.ranks, newRank(cfg.Geom, cfg.Timing.TREFI))
+	}
+	return ch
+}
+
+// Ranks reports the number of ranks.
+func (ch *Channel) Ranks() int { return len(ch.ranks) }
+
+// OpenRow returns the open row of a bank, or -1 if precharged.
+func (ch *Channel) OpenRow(rk, bk int) int64 {
+	return ch.ranks[rk].banks[bk].openRow
+}
+
+// Awake reports whether the rank can accept commands at t (powered up,
+// not refreshing).
+func (ch *Channel) Awake(t sim.Cycle, rk int) bool { return ch.ranks[rk].awake(t) }
+
+// dataBusEarliest computes the earliest data-start time permitted by the
+// data bus given rank and direction switches.
+func (ch *Channel) dataBusEarliest(rk int, write bool) sim.Cycle {
+	t := ch.dataFreeAt
+	if ch.lastDataRank >= 0 && (ch.lastDataRank != rk || ch.lastDataWrite != write) {
+		t += ch.Cfg.Timing.TRTRS
+	}
+	return t
+}
+
+// claimData reserves the data bus for one burst starting at start.
+func (ch *Channel) claimData(start sim.Cycle, rk int, write bool) {
+	ch.dataFreeAt = start + ch.Cfg.Timing.Burst
+	ch.lastDataRank = rk
+	ch.lastDataWrite = write
+	ch.Stat.DataBusy += ch.Cfg.Timing.Burst
+	r := ch.ranks[rk]
+	if ch.dataFreeAt > r.busyUntil {
+		r.busyUntil = ch.dataFreeAt
+	}
+}
+
+// TryActivate issues ACT(row) to a bank. Returns false (with no side
+// effects) if any constraint blocks it at time t.
+func (ch *Channel) TryActivate(t sim.Cycle, rk, bk int, row int64) bool {
+	tm := &ch.Cfg.Timing
+	r := ch.ranks[rk]
+	b := &r.banks[bk]
+	if !r.awake(t) || !ch.Cmd.free(t) || b.openRow != -1 ||
+		t < b.canActAt || t < r.nextActAt || !r.fawOK(t, tm.TFAW) {
+		return false
+	}
+	ch.Cmd.reserve(t, tm.BusCycle)
+	b.activate(t, tm, row)
+	r.recordAct(t)
+	r.nextActAt = t + tm.TRRD
+	ch.Stat.Acts++
+	return true
+}
+
+// TryPrecharge issues PRE to a bank.
+func (ch *Channel) TryPrecharge(t sim.Cycle, rk, bk int) bool {
+	r := ch.ranks[rk]
+	b := &r.banks[bk]
+	if !r.awake(t) || !ch.Cmd.free(t) || b.openRow == -1 || t < b.canPreAt {
+		return false
+	}
+	ch.Cmd.reserve(t, ch.Cfg.Timing.BusCycle)
+	b.precharge(t, &ch.Cfg.Timing)
+	return true
+}
+
+// TryCAS issues a column read or write to an open row. autoPre applies
+// the close-page auto-precharge. On success it returns the cycle the
+// first data beat appears on the bus.
+func (ch *Channel) TryCAS(t sim.Cycle, rk, bk int, row int64, kind AccessKind, autoPre bool) (dataStart sim.Cycle, ok bool) {
+	tm := &ch.Cfg.Timing
+	r := ch.ranks[rk]
+	b := &r.banks[bk]
+	if !r.awake(t) || !ch.Cmd.free(t) || b.openRow != row || t < r.nextCASAt {
+		return 0, false
+	}
+	write := kind == AccessWrite
+	if write {
+		dataStart = t + tm.TWL
+	} else {
+		dataStart = t + tm.TRL
+		if t < b.canReadAt || t < r.lastWriteDataEnd+tm.TWTR {
+			return 0, false
+		}
+	}
+	if dataStart < ch.dataBusEarliest(rk, write) {
+		return 0, false
+	}
+	ch.Cmd.reserve(t, tm.BusCycle)
+	r.nextCASAt = t + tm.TCCD
+	ch.claimData(dataStart, rk, write)
+	dataEnd := dataStart + tm.Burst
+	if write {
+		r.lastWriteDataEnd = dataEnd
+		if dataEnd+tm.TWR > b.canPreAt {
+			b.canPreAt = dataEnd + tm.TWR
+		}
+		ch.Stat.Writes++
+	} else {
+		if t+tm.TRTP > b.canPreAt {
+			b.canPreAt = t + tm.TRTP
+		}
+		ch.Stat.Reads++
+	}
+	if autoPre {
+		pre := b.canPreAt
+		if pre < t {
+			pre = t
+		}
+		b.openRow = -1
+		if pre+tm.TRP > b.canActAt {
+			b.canActAt = pre + tm.TRP
+		}
+	}
+	return dataStart, true
+}
+
+// TryAccess issues an RLDRAM3-style unified access: the single command
+// carries the whole address, the array access and implicit precharge are
+// gated only by tRC. Valid only for RLDRAM3 channels.
+func (ch *Channel) TryAccess(t sim.Cycle, rk, bk int, kind AccessKind) (dataStart sim.Cycle, ok bool) {
+	if !ch.Cfg.Unified() {
+		panic("dram: TryAccess on non-unified channel " + ch.Cfg.Kind.String())
+	}
+	tm := &ch.Cfg.Timing
+	r := ch.ranks[rk]
+	b := &r.banks[bk]
+	if !r.awake(t) || !ch.Cmd.free(t) || t < b.canActAt || t < r.nextCASAt {
+		return 0, false
+	}
+	write := kind == AccessWrite
+	if write {
+		dataStart = t + tm.TWL
+	} else {
+		dataStart = t + tm.TRL
+	}
+	if dataStart < ch.dataBusEarliest(rk, write) {
+		return 0, false
+	}
+	ch.Cmd.reserve(t, tm.BusCycle)
+	b.canActAt = t + tm.TRC
+	r.nextCASAt = t + tm.TCCD
+	ch.claimData(dataStart, rk, write)
+	if write {
+		ch.Stat.Writes++
+	} else {
+		ch.Stat.Reads++
+	}
+	ch.Stat.Acts++ // every RLDRAM access activates its small array
+	return dataStart, true
+}
+
+// RefreshDue reports whether rank rk owes a refresh at time t. Channels
+// whose devices have no modelled refresh (RLDRAM3) never owe one.
+func (ch *Channel) RefreshDue(t sim.Cycle, rk int) bool {
+	if ch.Cfg.Timing.TREFI == 0 {
+		return false
+	}
+	return t >= ch.ranks[rk].refreshDueAt
+}
+
+// TryRefresh issues an all-bank refresh. All banks must be precharged.
+func (ch *Channel) TryRefresh(t sim.Cycle, rk int) bool {
+	tm := &ch.Cfg.Timing
+	r := ch.ranks[rk]
+	if tm.TREFI == 0 || !r.awake(t) || !ch.Cmd.free(t) || !r.allBanksIdle() {
+		return false
+	}
+	for i := range r.banks {
+		if t < r.banks[i].canActAt { // recent precharge must settle (tRP)
+			return false
+		}
+	}
+	ch.Cmd.reserve(t, tm.BusCycle)
+	r.refreshUntil = t + tm.TRFC
+	r.refreshDueAt += tm.TREFI
+	if r.refreshDueAt <= t { // badly overdue: re-anchor to avoid a refresh storm
+		r.refreshDueAt = t + tm.TREFI
+	}
+	for i := range r.banks {
+		if r.refreshUntil > r.banks[i].canActAt {
+			r.banks[i].canActAt = r.refreshUntil
+		}
+	}
+	ch.Stat.Refreshes++
+	return true
+}
+
+// PowerState reports rank rk's current power mode.
+func (ch *Channel) PowerState(rk int) PowerState { return ch.ranks[rk].power }
+
+// Sleep moves an idle rank into power-down (deep selects the
+// self-refresh-class mode of §7.2). It reports whether the transition
+// happened; a rank with open rows or in-flight data refuses.
+func (ch *Channel) Sleep(t sim.Cycle, rk int, deep bool) bool {
+	r := ch.ranks[rk]
+	if r.power != PSActive || !r.allBanksIdle() || t < r.busyUntil || t < r.wakeAt {
+		return false
+	}
+	st := PSPowerDown
+	if deep {
+		st = PSDeepPowerDown
+	}
+	r.transition(t, st)
+	ch.Stat.SleepEntry++
+	return true
+}
+
+// Wake begins power-down exit; commands become legal at the returned
+// cycle. Waking an awake rank is a no-op returning t.
+func (ch *Channel) Wake(t sim.Cycle, rk int) sim.Cycle {
+	r := ch.ranks[rk]
+	if r.power == PSActive {
+		if r.wakeAt > t {
+			return r.wakeAt
+		}
+		return t
+	}
+	exit := ch.Cfg.Timing.TXP
+	if r.power == PSDeepPowerDown {
+		exit *= 4
+	}
+	r.transition(t, PSActive)
+	r.wakeAt = t + exit
+	ch.Stat.WakeUps++
+	return r.wakeAt
+}
+
+// Finalize flushes power-state residency accounting at end of run.
+func (ch *Channel) Finalize(t sim.Cycle) {
+	for _, r := range ch.ranks {
+		r.finalize(t)
+	}
+}
+
+// StateCycles reports cycles rank rk spent in state s (after Finalize).
+func (ch *Channel) StateCycles(rk int, s PowerState) sim.Cycle {
+	return ch.ranks[rk].stateCycles[s]
+}
+
+// Utilization reports the fraction of elapsed cycles the data bus was
+// transferring, the paper's "bus utilization".
+func (ch *Channel) Utilization(elapsed sim.Cycle) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ch.Stat.DataBusy) / float64(elapsed)
+}
+
+// DebugString summarises channel state for error messages and tests.
+func (ch *Channel) DebugString(t sim.Cycle) string {
+	return fmt.Sprintf("%s ranks=%d acts=%d rd=%d wr=%d ref=%d dataBusy=%d now=%d",
+		ch.Cfg.Kind, len(ch.ranks), ch.Stat.Acts, ch.Stat.Reads, ch.Stat.Writes,
+		ch.Stat.Refreshes, ch.Stat.DataBusy, t)
+}

@@ -1,0 +1,80 @@
+package dram
+
+import "hetsim/internal/sim"
+
+// Hybrid Memory Cube models for the paper's §10 future-work sketch:
+// "one could imagine having a mix of high-power, high-performance and
+// low-power, low-frequency HMCs. ... a critical data bit could be
+// obtained from a high-frequency HMC and the rest of the data from a
+// low-power HMC." These presets model 3D-stacked parts behind
+// high-speed serial links: close-page vault controllers (no exposed row
+// buffer), many banks, and link-dominated latency. The fast cube runs
+// its links at full rate (high background power, §10 notes the
+// signalling is power-hungry); the low-power cube halves the link rate
+// and sleeps aggressively.
+
+// HMCFast and HMCLP extend the device families with the two stacked
+// variants of §10.
+const (
+	HMCFast Kind = iota + 3
+	HMCLP
+)
+
+// hmcKindNames extends Kind.String (see String in timing.go).
+func hmcKindName(k Kind) (string, bool) {
+	switch k {
+	case HMCFast:
+		return "HMC-fast", true
+	case HMCLP:
+		return "HMC-lp", true
+	default:
+		return "", false
+	}
+}
+
+// HMCFastTiming: 1.6 GHz DDR links (2 CPU cycles per link cycle), short
+// tRC thanks to small per-vault arrays, latency dominated by
+// SerDes/packet overhead folded into TRL/TWL.
+func HMCFastTiming() Timing {
+	bus := sim.Cycle(2)
+	return Timing{
+		BusCycle: bus,
+		TRC:      ns(30), TRL: ns(14), TWL: ns(14),
+		TRTRS: 2 * bus, TCCD: 2 * bus,
+		Burst: 2 * bus, TXP: ns(100), // link power-state exit is slow
+	}
+}
+
+// HMCLPTiming: links at half rate, slower arrays, deeper sleep.
+func HMCLPTiming() Timing {
+	bus := sim.Cycle(4)
+	return Timing{
+		BusCycle: bus,
+		TRC:      ns(40), TRL: ns(22), TWL: ns(22),
+		TRTRS: 2 * bus, TCCD: 2 * bus,
+		Burst: 2 * bus, TXP: ns(100),
+	}
+}
+
+// HMCFastWordGeometry: one fast cube serving 8-byte critical words from
+// 32 vault banks.
+func HMCFastWordGeometry() Geometry {
+	return Geometry{Banks: 32, Rows: 8192, ColsPerRow: 128, DevicesPerRank: 1}
+}
+
+// HMCLPLineGeometry: one low-power cube serving full lines.
+func HMCLPLineGeometry() Geometry {
+	return Geometry{Banks: 16, Rows: 16384, ColsPerRow: 128, DevicesPerRank: 1}
+}
+
+// HMCFastWordConfig is the §10 critical-word cube.
+func HMCFastWordConfig() Config {
+	return Config{Kind: HMCFast, Policy: ClosePage, Timing: HMCFastTiming(),
+		Geom: HMCFastWordGeometry()}
+}
+
+// HMCLPLineConfig is the §10 bulk-data cube.
+func HMCLPLineConfig() Config {
+	return Config{Kind: HMCLP, Policy: ClosePage, Timing: HMCLPTiming(),
+		Geom: HMCLPLineGeometry()}
+}

@@ -1,0 +1,240 @@
+// Package dram models the three DRAM device families the paper builds
+// its heterogeneous memory from: DDR3-1600, LPDDR2-800 and RLDRAM3. It
+// provides cycle-accurate bank, rank and channel state machines with the
+// timing parameters of Table 2, FAW windows, refresh, power-down states,
+// and command/data bus occupancy tracking. The memory controller in
+// internal/memctrl drives these state machines.
+//
+// All times are in CPU cycles at 3.2 GHz (sim.Cycle); the conversions
+// from the nanosecond datasheet values happen once, in the presets below.
+package dram
+
+import (
+	"fmt"
+
+	"hetsim/internal/sim"
+	"hetsim/internal/stats"
+)
+
+// Kind identifies a DRAM device family.
+type Kind int
+
+// The three device families of the paper.
+const (
+	DDR3 Kind = iota
+	LPDDR2
+	RLDRAM3
+)
+
+// String returns the family name.
+func (k Kind) String() string {
+	switch k {
+	case DDR3:
+		return "DDR3"
+	case LPDDR2:
+		return "LPDDR2"
+	case RLDRAM3:
+		return "RLDRAM3"
+	default:
+		if n, ok := hmcKindName(k); ok {
+			return n
+		}
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// PagePolicy selects row-buffer management. RLDRAM3 devices physically
+// auto-precharge after every access, so they are always ClosePage.
+type PagePolicy int
+
+// Row-buffer management policies (§2 of the paper).
+const (
+	OpenPage PagePolicy = iota
+	ClosePage
+)
+
+// Timing holds every timing constraint the channel state machines
+// enforce, in CPU cycles. A zero field means the constraint does not
+// exist for the device (e.g. TFAW for RLDRAM3).
+type Timing struct {
+	BusCycle sim.Cycle // CPU cycles per DRAM bus clock
+
+	TRC   sim.Cycle // ACT-to-ACT, same bank (bank turnaround)
+	TRCD  sim.Cycle // ACT-to-CAS
+	TRL   sim.Cycle // read CAS-to-first-data (CL)
+	TWL   sim.Cycle // write CAS-to-first-data
+	TRP   sim.Cycle // PRE-to-ACT
+	TRAS  sim.Cycle // ACT-to-PRE minimum
+	TRTP  sim.Cycle // read-to-PRE
+	TWR   sim.Cycle // write recovery before PRE
+	TRTRS sim.Cycle // rank-to-rank data bus switch
+	TFAW  sim.Cycle // four-activate window (0 = unrestricted)
+	TWTR  sim.Cycle // write-data-end to read CAS, same rank
+	TCCD  sim.Cycle // CAS-to-CAS, same rank
+	TRRD  sim.Cycle // ACT-to-ACT, different banks same rank
+	TREFI sim.Cycle // refresh interval (0 = no refresh modelled)
+	TRFC  sim.Cycle // refresh cycle time
+
+	Burst sim.Cycle // data bus occupancy of one access
+	TXP   sim.Cycle // power-down exit latency
+}
+
+// Config describes one DRAM device/DIMM type used on a channel.
+type Config struct {
+	Kind   Kind
+	Policy PagePolicy
+	Timing Timing
+	Geom   Geometry
+}
+
+// Unified reports whether the device takes SRAM-style single-command
+// accesses (RLDRAM3's READ/WRITE with implicit activate and precharge,
+// or an HMC vault's packet interface): close-page with no separate
+// ACT-to-CAS phase.
+func (c Config) Unified() bool {
+	return c.Policy == ClosePage && c.Timing.TRCD == 0
+}
+
+// Geometry gives the addressable shape of one rank on the channel. The
+// unit of a "column" here is whatever the channel transfers per access:
+// a 64-byte line on 64/72-bit channels, an 8-byte word on the x9
+// critical-word sub-channels.
+type Geometry struct {
+	Banks          int
+	Rows           int
+	ColsPerRow     int // transfer units per row
+	DevicesPerRank int // chips activated per access (for power)
+}
+
+// UnitsPerRank reports the total addressable transfer units in one rank.
+func (g Geometry) UnitsPerRank() uint64 {
+	return uint64(g.Banks) * uint64(g.Rows) * uint64(g.ColsPerRow)
+}
+
+// ns converts nanoseconds to CPU cycles (rounding up).
+func ns(v float64) sim.Cycle { return sim.CyclesPerNS(v) }
+
+// DDR3Timing is the MT41J256M8 DDR3-1600 part of Table 2: 800 MHz bus,
+// 4 CPU cycles per bus cycle, 64-byte line in a BL8 burst (4 bus cycles).
+func DDR3Timing() Timing {
+	bus := sim.Cycle(4)
+	return Timing{
+		BusCycle: bus,
+		TRC:      ns(50), TRCD: ns(13.5), TRL: ns(13.5), TWL: ns(6.5),
+		TRP: ns(13.5), TRAS: ns(37), TRTP: ns(7.5), TWR: ns(15),
+		TRTRS: 2 * bus, TFAW: ns(40), TWTR: ns(7.5),
+		TCCD: 4 * bus, TRRD: ns(6),
+		TREFI: ns(7800), TRFC: ns(160),
+		Burst: 4 * bus, TXP: ns(6), // fast-exit precharge power-down
+	}
+}
+
+// LPDDR2Timing is the MT42L128M16D1 LPDDR2-800 part at 400 MHz
+// (8 CPU cycles per bus cycle): slower arrays, slower bus, but much
+// faster power-down entry/exit (the aggressive-sleep advantage of §4.1).
+func LPDDR2Timing() Timing {
+	bus := sim.Cycle(8)
+	return Timing{
+		BusCycle: bus,
+		TRC:      ns(60), TRCD: ns(18), TRL: ns(18), TWL: ns(6.5),
+		TRP: ns(18), TRAS: ns(42), TRTP: ns(7.5), TWR: ns(15),
+		TRTRS: 2 * bus, TFAW: ns(50), TWTR: ns(7.5),
+		TCCD: 4 * bus, TRRD: ns(10),
+		TREFI: ns(3900), TRFC: ns(130),
+		Burst: 4 * bus, TXP: ns(7.5),
+	}
+}
+
+// RLDRAM3Timing is the MT44K32M18 part: 800 MHz bus, SRAM-style
+// addressing (a single READ/WRITE carries the whole address and
+// auto-precharges), tRC of 12 ns, no FAW or write-to-read penalty.
+func RLDRAM3Timing() Timing {
+	bus := sim.Cycle(4)
+	return Timing{
+		BusCycle: bus,
+		TRC:      ns(12), TRL: ns(10), TWL: ns(11.25),
+		TRTRS: 2 * bus, TCCD: 4 * bus,
+		Burst: 4 * bus, TXP: ns(24),
+	}
+}
+
+// DDR3Geometry is one 9-chip x8 ECC rank: 2 GB of data, 8 banks, 8 KB
+// rows = 128 64-byte lines per row.
+func DDR3Geometry() Geometry {
+	return Geometry{Banks: 8, Rows: 32768, ColsPerRow: 128, DevicesPerRank: 9}
+}
+
+// LPDDR2Geometry is the 8-chip rank of Figure 5b storing words 1-7 plus
+// ECC (same core density as DDR3).
+func LPDDR2Geometry() Geometry {
+	return Geometry{Banks: 8, Rows: 32768, ColsPerRow: 128, DevicesPerRank: 8}
+}
+
+// RLDRAM3LineGeometry is a hypothetical full-line RLDRAM3 rank used for
+// the homogeneous all-RLDRAM3 configuration of Figures 1 and 9: 16 small
+// banks, 2 KB rows.
+func RLDRAM3LineGeometry() Geometry {
+	return Geometry{Banks: 16, Rows: 8192, ColsPerRow: 32, DevicesPerRank: 9}
+}
+
+// RLDRAM3WordGeometry is one x9 critical-word sub-channel rank of
+// §4.2.4: it stores word-0 (plus parity) of every line of one line
+// channel, one 8-byte word per access, 16 banks.
+func RLDRAM3WordGeometry() Geometry {
+	return Geometry{Banks: 16, Rows: 16384, ColsPerRow: 128, DevicesPerRank: 1}
+}
+
+// DDR3Config, LPDDR2Config and RLDRAM3Config assemble the standard
+// full-line channel configurations.
+func DDR3Config() Config {
+	return Config{Kind: DDR3, Policy: OpenPage, Timing: DDR3Timing(), Geom: DDR3Geometry()}
+}
+
+// LPDDR2Config is the open-page low-power line channel.
+func LPDDR2Config() Config {
+	return Config{Kind: LPDDR2, Policy: OpenPage, Timing: LPDDR2Timing(), Geom: LPDDR2Geometry()}
+}
+
+// RLDRAM3Config is the hypothetical homogeneous full-line RLDRAM3
+// channel (always close-page).
+func RLDRAM3Config() Config {
+	return Config{Kind: RLDRAM3, Policy: ClosePage, Timing: RLDRAM3Timing(), Geom: RLDRAM3LineGeometry()}
+}
+
+// RLDRAM3WordConfig is one x9 critical-word sub-channel.
+func RLDRAM3WordConfig() Config {
+	return Config{Kind: RLDRAM3, Policy: ClosePage, Timing: RLDRAM3Timing(), Geom: RLDRAM3WordGeometry()}
+}
+
+// DDR3WordConfig is the critical-word sub-channel built from DDR3
+// devices, used by the DL configuration of §6.1: DDR3 timing, close-page
+// (each access fetches a single word, so rows are never reused), word
+// geometry.
+func DDR3WordConfig() Config {
+	return Config{Kind: DDR3, Policy: ClosePage, Timing: DDR3Timing(),
+		Geom: Geometry{Banks: 8, Rows: 32768, ColsPerRow: 128, DevicesPerRank: 1}}
+}
+
+// Table2 renders the Table 2 timing parameters actually in force, for
+// cmd/experiments.
+func Table2() string {
+	t := &stats.Table{
+		Title:   "Table 2: timing parameters (CPU cycles @3.2GHz; paper values in ns)",
+		Headers: []string{"Parameter", "DDR3", "RLDRAM3", "LPDDR2"},
+	}
+	d, r, l := DDR3Timing(), RLDRAM3Timing(), LPDDR2Timing()
+	row := func(name string, f func(Timing) sim.Cycle) {
+		t.AddRow(name, fmt.Sprint(f(d)), fmt.Sprint(f(r)), fmt.Sprint(f(l)))
+	}
+	row("tRC", func(t Timing) sim.Cycle { return t.TRC })
+	row("tRCD", func(t Timing) sim.Cycle { return t.TRCD })
+	row("tRL", func(t Timing) sim.Cycle { return t.TRL })
+	row("tRP", func(t Timing) sim.Cycle { return t.TRP })
+	row("tRAS", func(t Timing) sim.Cycle { return t.TRAS })
+	row("tRTRS", func(t Timing) sim.Cycle { return t.TRTRS })
+	row("tFAW", func(t Timing) sim.Cycle { return t.TFAW })
+	row("tWTR", func(t Timing) sim.Cycle { return t.TWTR })
+	row("tWL", func(t Timing) sim.Cycle { return t.TWL })
+	row("burst", func(t Timing) sim.Cycle { return t.Burst })
+	return t.String()
+}

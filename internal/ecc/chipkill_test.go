@@ -1,0 +1,123 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func someWords(seed uint64) [8]uint64 {
+	var w [8]uint64
+	x := seed
+	for i := range w {
+		x = x*6364136223846793005 + 1442695040888963407
+		w[i] = x
+	}
+	return w
+}
+
+func checksFor(words [8]uint64) [8]uint8 {
+	var c [8]uint8
+	for i, w := range words {
+		c[i] = Encode(w)
+	}
+	return c
+}
+
+func TestChipkillRoundTrip(t *testing.T) {
+	words := someWords(1)
+	l := EncodeChipkill(words)
+	if l.Words() != words {
+		t.Fatal("layout round trip failed")
+	}
+}
+
+// Property: any single data-chip failure is fully reconstructable.
+func TestChipkillReconstructionProperty(t *testing.T) {
+	f := func(seed uint64, chip uint8) bool {
+		words := someWords(seed)
+		c := int(chip) % ChipsPerRank
+		l := EncodeChipkill(words)
+		if l.KillChip(c) != nil {
+			return false
+		}
+		if l.ReconstructChip(c) != nil {
+			return false
+		}
+		return l.Words() == words
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChipkillIdentifyDeadChip(t *testing.T) {
+	words := someWords(7)
+	check := checksFor(words)
+	for c := 0; c < ChipsPerRank; c++ {
+		l := EncodeChipkill(words)
+		l.KillChip(c)
+		if got := IdentifyDeadChip(l, check); got != c {
+			t.Errorf("dead chip %d identified as %d", c, got)
+		}
+	}
+}
+
+func TestChipkillHealthyLineIdentifiesNothing(t *testing.T) {
+	words := someWords(9)
+	l := EncodeChipkill(words)
+	if got := IdentifyDeadChip(l, checksFor(words)); got != -1 {
+		t.Fatalf("healthy line blamed chip %d", got)
+	}
+}
+
+func TestRecoverChipkillFullFlow(t *testing.T) {
+	words := someWords(11)
+	check := checksFor(words)
+	l := EncodeChipkill(words)
+	l.KillChip(4)
+	got, err := RecoverChipkill(l, check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != words {
+		t.Fatal("recovered words differ")
+	}
+	// A clean line passes through untouched.
+	clean := EncodeChipkill(words)
+	got, err = RecoverChipkill(clean, check)
+	if err != nil || got != words {
+		t.Fatalf("clean line flow: %v", err)
+	}
+}
+
+func TestRecoverChipkillRejectsDoubleChipFailure(t *testing.T) {
+	words := someWords(13)
+	check := checksFor(words)
+	l := EncodeChipkill(words)
+	l.KillChip(1)
+	l.KillChip(6)
+	if _, err := RecoverChipkill(l, check); err == nil {
+		t.Fatal("double chip failure silently 'recovered'")
+	}
+}
+
+func TestKillParityChipIsHarmlessToData(t *testing.T) {
+	words := someWords(15)
+	l := EncodeChipkill(words)
+	if err := l.KillChip(ChipsPerRank); err != nil {
+		t.Fatal(err)
+	}
+	if l.Words() != words {
+		t.Fatal("parity chip failure corrupted data")
+	}
+}
+
+func TestKillChipValidation(t *testing.T) {
+	l := EncodeChipkill(someWords(17))
+	if err := l.KillChip(42); err == nil {
+		t.Fatal("bogus chip index accepted")
+	}
+	if err := l.ReconstructChip(ChipsPerRank); err == nil {
+		t.Fatal("reconstructing the parity chip must be rejected")
+	}
+}

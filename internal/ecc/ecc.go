@@ -1,0 +1,197 @@
+// Package ecc implements the fault-tolerance layer of §4.2.3: the
+// baseline SECDED (72,64) Hamming code protecting every 64-bit word, and
+// the per-byte parity that guards the critical word fetched from the
+// RLDRAM DIMM so it can be forwarded before the full line (and its ECC
+// code) arrives. The paper's flow: forward word-0 if parity is clean;
+// on a parity error, hold the consumer until the SECDED code arrives and
+// corrects; multi-bit errors escape parity but are still detected by
+// SECDED when the full line lands (fail-stop).
+package ecc
+
+import "math/bits"
+
+// SECDED (72,64): 8 check bits over a 64-bit data word — a (72,64)
+// Hsiao-style code built from a Hamming(127) positional construction:
+// data bits occupy the non-power-of-two positions 1..72, check bits the
+// power-of-two positions, plus an overall parity bit for double-error
+// detection.
+
+// codeBits is the total code length: 64 data + 7 Hamming check bits + 1
+// overall parity.
+const codeBits = 72
+
+// dataPositions[i] is the 1-based position of data bit i in the
+// Hamming codeword (skipping power-of-two positions).
+var dataPositions [64]int
+
+// checkPositions are the power-of-two positions of the 7 check bits.
+var checkPositions = [7]int{1, 2, 4, 8, 16, 32, 64}
+
+func init() {
+	p := 1
+	for i := 0; i < 64; {
+		if p&(p-1) == 0 { // power of two: reserved for a check bit
+			p++
+			continue
+		}
+		dataPositions[i] = p
+		i++
+		p++
+	}
+}
+
+// Encode computes the 8 ECC check bits for a 64-bit data word: 7
+// Hamming bits in the low bits and the overall parity in bit 7.
+func Encode(data uint64) uint8 {
+	var check uint8
+	for c, cp := range checkPositions {
+		var parity uint
+		for i := 0; i < 64; i++ {
+			if dataPositions[i]&cp != 0 {
+				parity ^= uint(data>>uint(i)) & 1
+			}
+		}
+		check |= uint8(parity) << uint(c)
+	}
+	// Overall parity covers data plus the 7 check bits.
+	overall := uint(bits.OnesCount64(data)) & 1
+	overall ^= uint(bits.OnesCount8(check&0x7f)) & 1
+	check |= uint8(overall) << 7
+	return check
+}
+
+// Result classifies a Decode outcome.
+type Result int
+
+// Decode outcomes.
+const (
+	OK              Result = iota // no error
+	CorrectedSingle               // single-bit error corrected
+	DetectedDouble                // uncorrectable double-bit error
+)
+
+// String names the result.
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case CorrectedSingle:
+		return "corrected"
+	case DetectedDouble:
+		return "detected-uncorrectable"
+	default:
+		return "invalid"
+	}
+}
+
+// Decode checks data against its stored check bits, returning the
+// (possibly corrected) data and the classification. Single-bit errors
+// anywhere in the 72-bit codeword (data, check, or the overall parity
+// bit itself) are corrected; double-bit errors are detected.
+func Decode(data uint64, check uint8) (uint64, Result) {
+	// Recompute the 7 Hamming bits over the received data; the
+	// syndrome is the XOR with the stored ones.
+	recomputed := Encode(data) & 0x7f
+	syndrome := 0
+	for c, cp := range checkPositions {
+		if (recomputed^check)>>uint(c)&1 == 1 {
+			syndrome |= cp
+		}
+	}
+	// Overall parity of the whole received 72-bit codeword. It was
+	// written so the total is even; odd now means an odd error count.
+	total := uint(bits.OnesCount64(data)+bits.OnesCount8(check)) & 1
+	odd := total == 1
+
+	switch {
+	case syndrome == 0 && !odd:
+		return data, OK
+	case !odd:
+		// Non-zero syndrome with even parity: two bits flipped.
+		return data, DetectedDouble
+	case syndrome == 0:
+		// The overall parity bit itself flipped.
+		return data, CorrectedSingle
+	default:
+		if syndrome > codeBits {
+			// Syndrome points outside the codeword: alias of a
+			// multi-bit error; refuse to "correct".
+			return data, DetectedDouble
+		}
+		// A data-position syndrome corrects that bit; a check-position
+		// syndrome means a check bit flipped and data is intact.
+		for i, dp := range dataPositions {
+			if dp == syndrome {
+				return data ^ (1 << uint(i)), CorrectedSingle
+			}
+		}
+		return data, CorrectedSingle
+	}
+}
+
+// ByteParity computes the 8 per-byte even-parity bits protecting the
+// critical word stored in the x9 RLDRAM chip (one parity bit per byte,
+// §4.2.3).
+func ByteParity(word uint64) uint8 {
+	var p uint8
+	for b := 0; b < 8; b++ {
+		byteVal := uint8(word >> (8 * uint(b)))
+		p |= uint8(bits.OnesCount8(byteVal)&1) << uint(b)
+	}
+	return p
+}
+
+// ParityOK reports whether word matches its stored per-byte parity.
+func ParityOK(word uint64, parity uint8) bool {
+	return ByteParity(word) == parity
+}
+
+// Line is a 64-byte cache line held as 8 words with SECDED codes and
+// the critical-word parity byte, mirroring the physical layout of
+// Figure 5b: words 1-7 + ECC on the low-power DIMM, word 0 + parity on
+// the RLDRAM DIMM.
+type Line struct {
+	Words  [8]uint64
+	Check  [8]uint8
+	Parity uint8 // per-byte parity of Words[0] (stored with RLDRAM copy)
+}
+
+// NewLine encodes data into a protected line.
+func NewLine(words [8]uint64) Line {
+	var l Line
+	l.Words = words
+	for i, w := range words {
+		l.Check[i] = Encode(w)
+	}
+	l.Parity = ByteParity(words[0])
+	return l
+}
+
+// FlipBit injects a fault into word w, bit b (for tests and the
+// error-injection experiment).
+func (l *Line) FlipBit(w, b int) {
+	l.Words[w] ^= 1 << uint(b)
+}
+
+// CriticalDelivery models the §4.2.3 early-forward decision for the
+// critical word: deliverEarly is true when per-byte parity is clean
+// (forward as soon as the RLDRAM data arrives). In either case Verify
+// reports what the full SECDED check concludes once the line arrives.
+func (l *Line) CriticalDelivery() (deliverEarly bool) {
+	return ParityOK(l.Words[0], l.Parity)
+}
+
+// Verify runs SECDED over all eight words, returning the worst outcome
+// and the corrected line.
+func (l *Line) Verify() (Line, Result) {
+	out := *l
+	worst := OK
+	for i := range l.Words {
+		w, r := Decode(l.Words[i], l.Check[i])
+		out.Words[i] = w
+		if r > worst {
+			worst = r
+		}
+	}
+	return out, worst
+}

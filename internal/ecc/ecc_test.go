@@ -1,0 +1,182 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, d := range []uint64{0, 1, 0xffffffffffffffff, 0xdeadbeefcafebabe, 1 << 63} {
+		c := Encode(d)
+		got, r := Decode(d, c)
+		if r != OK || got != d {
+			t.Errorf("Decode(clean %#x) = %#x, %v", d, got, r)
+		}
+	}
+}
+
+// Property: any single data-bit flip is corrected back to the original.
+func TestSingleDataBitCorrectionProperty(t *testing.T) {
+	f := func(data uint64, bit uint8) bool {
+		b := uint(bit % 64)
+		c := Encode(data)
+		corrupted := data ^ (1 << b)
+		got, r := Decode(corrupted, c)
+		return r == CorrectedSingle && got == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single check-bit flip is classified single and the data
+// survives unmodified.
+func TestSingleCheckBitFlipProperty(t *testing.T) {
+	f := func(data uint64, bit uint8) bool {
+		b := uint(bit % 8)
+		c := Encode(data) ^ (1 << b)
+		got, r := Decode(data, c)
+		return r == CorrectedSingle && got == data
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any double data-bit flip is detected as uncorrectable.
+func TestDoubleBitDetectionProperty(t *testing.T) {
+	f := func(data uint64, b1, b2 uint8) bool {
+		x, y := uint(b1%64), uint(b2%64)
+		if x == y {
+			return true
+		}
+		c := Encode(data)
+		corrupted := data ^ (1 << x) ^ (1 << y)
+		_, r := Decode(corrupted, c)
+		return r == DetectedDouble
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: one data bit + one check bit flipped is also detected.
+func TestMixedDoubleDetectionProperty(t *testing.T) {
+	f := func(data uint64, db, cb uint8) bool {
+		c := Encode(data) ^ (1 << uint(cb%8))
+		corrupted := data ^ (1 << uint(db%64))
+		_, r := Decode(corrupted, c)
+		return r == DetectedDouble
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteParity(t *testing.T) {
+	if ByteParity(0) != 0 {
+		t.Fatal("parity of zero word must be zero")
+	}
+	// One bit set in byte 3 -> parity bit 3 set.
+	if p := ByteParity(1 << 24); p != 1<<3 {
+		t.Fatalf("parity = %#x, want %#x", p, 1<<3)
+	}
+	if !ParityOK(0xabcd, ByteParity(0xabcd)) {
+		t.Fatal("self parity check failed")
+	}
+}
+
+// Property: per-byte parity catches every single-bit flip in the word.
+func TestByteParityCatchesSingleFlipsProperty(t *testing.T) {
+	f := func(word uint64, bit uint8) bool {
+		p := ByteParity(word)
+		return !ParityOK(word^(1<<uint(bit%64)), p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Per-byte parity misses an even number of flips within one byte — the
+// documented silent-window the paper accepts (§4.2.3); SECDED still
+// detects it when the full line arrives.
+func TestByteParityMissesDoubleInByteButSECDEDCatches(t *testing.T) {
+	word := uint64(0x0123456789abcdef)
+	l := NewLine([8]uint64{word})
+	l.FlipBit(0, 0)
+	l.FlipBit(0, 1) // two flips in byte 0
+	if !l.CriticalDelivery() {
+		t.Fatal("parity caught a double flip in one byte (should miss)")
+	}
+	_, r := l.Verify()
+	if r != DetectedDouble {
+		t.Fatalf("SECDED verdict = %v, want detected-uncorrectable", r)
+	}
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	words := [8]uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	l := NewLine(words)
+	out, r := l.Verify()
+	if r != OK {
+		t.Fatalf("clean line verdict = %v", r)
+	}
+	if out.Words != words {
+		t.Fatal("clean line data changed")
+	}
+}
+
+func TestLineSingleErrorFlow(t *testing.T) {
+	l := NewLine([8]uint64{0xff, 0, 0, 0, 0, 0, 0, 0})
+	l.FlipBit(0, 5)
+	// Parity must block early delivery of the corrupted critical word.
+	if l.CriticalDelivery() {
+		t.Fatal("parity passed a corrupted critical word")
+	}
+	out, r := l.Verify()
+	if r != CorrectedSingle {
+		t.Fatalf("verdict = %v, want corrected", r)
+	}
+	if out.Words[0] != 0xff {
+		t.Fatalf("corrected word = %#x, want 0xff", out.Words[0])
+	}
+}
+
+func TestLineErrorInNonCriticalWord(t *testing.T) {
+	l := NewLine([8]uint64{1, 2, 3, 4, 5, 6, 7, 8})
+	l.FlipBit(5, 17)
+	// Critical word is clean: early delivery stays allowed.
+	if !l.CriticalDelivery() {
+		t.Fatal("clean critical word blocked")
+	}
+	out, r := l.Verify()
+	if r != CorrectedSingle || out.Words[5] != 6 {
+		t.Fatalf("verdict=%v word5=%#x", r, out.Words[5])
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if OK.String() != "ok" || CorrectedSingle.String() != "corrected" ||
+		DetectedDouble.String() != "detected-uncorrectable" || Result(99).String() != "invalid" {
+		t.Fatal("Result strings wrong")
+	}
+}
+
+func TestDataPositionsDisjointFromCheckPositions(t *testing.T) {
+	seen := map[int]bool{}
+	for _, p := range checkPositions {
+		seen[p] = true
+	}
+	for _, p := range dataPositions {
+		if seen[p] {
+			t.Fatalf("data position %d collides with a check position", p)
+		}
+		if p&(p-1) == 0 {
+			t.Fatalf("data position %d is a power of two", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 64+7 {
+		t.Fatalf("positions not unique: %d", len(seen))
+	}
+}

@@ -1,0 +1,235 @@
+package exp
+
+import (
+	"sort"
+
+	"hetsim/internal/cache"
+	"hetsim/internal/core"
+	"hetsim/internal/stats"
+	"hetsim/internal/workload"
+)
+
+// RandomMappingResult is the §6.1.1 placement control.
+type RandomMappingResult struct {
+	PerBench map[string]float64
+	Mean     float64
+	Worst    float64
+	Table    string
+}
+
+// RandomMapping places a random word per line on the fast channel
+// (paper: only +2.1% mean, with severe regressions for some programs —
+// intelligent mapping is what earns the gains).
+func RandomMapping(r *Runner) (RandomMappingResult, error) {
+	out := RandomMappingResult{PerBench: map[string]float64{}, Worst: 10}
+	tb := &stats.Table{Title: "§6.1.1: random critical word mapping (normalized throughput)",
+		Headers: []string{"benchmark", "RL-random"}}
+	cfg := core.RL(0)
+	cfg.Placement = core.PlaceRandom
+	cfg.Name = "RL-random"
+	var vals []float64
+	for _, b := range r.Opts.Benchmarks {
+		n, _, err := r.normalize(cfg, b)
+		if err != nil {
+			return out, err
+		}
+		out.PerBench[b] = n
+		vals = append(vals, n)
+		if n < out.Worst {
+			out.Worst = n
+		}
+		tb.AddRowf(b, "%.3f", n)
+	}
+	out.Mean = stats.GeoMean(vals)
+	tb.AddRowf("geomean", "%.3f", out.Mean)
+	out.Table = tb.String()
+	return out, nil
+}
+
+// NoPrefetcherResult is the §6.1.1 prefetcher ablation.
+type NoPrefetcherResult struct {
+	// MeanWith and MeanWithout are the RL gains over the *matching*
+	// baseline (paper: 12.9% with the prefetcher, 17.3% without — CWF
+	// has more latency to hide when prefetching is off).
+	MeanWith    float64
+	MeanWithout float64
+	Table       string
+}
+
+// NoPrefetcher compares the RL gain with and without the stride
+// prefetcher (each against a baseline with the same prefetch setting).
+func NoPrefetcher(r *Runner) (NoPrefetcherResult, error) {
+	var out NoPrefetcherResult
+	tb := &stats.Table{Title: "§6.1.1: RL gain with/without prefetcher (normalized throughput)",
+		Headers: []string{"benchmark", "with-pf", "no-pf"}}
+	basePF := core.Baseline(0)
+	rlPF := core.RL(0)
+	baseNo := core.Baseline(0)
+	baseNo.Prefetch = false
+	baseNo.Name = "DDR3-nopf"
+	rlNo := core.RL(0)
+	rlNo.Prefetch = false
+	rlNo.Name = "RL-nopf"
+	var with, without []float64
+	for _, b := range r.Opts.Benchmarks {
+		bp, err := r.Run(basePF, b)
+		if err != nil {
+			return out, err
+		}
+		rp, err := r.Run(rlPF, b)
+		if err != nil {
+			return out, err
+		}
+		bn, err := r.Run(baseNo, b)
+		if err != nil {
+			return out, err
+		}
+		rn, err := r.Run(rlNo, b)
+		if err != nil {
+			return out, err
+		}
+		w, wo := 0.0, 0.0
+		if bp.Throughput > 0 {
+			w = rp.Throughput / bp.Throughput
+		}
+		if bn.Throughput > 0 {
+			wo = rn.Throughput / bn.Throughput
+		}
+		with = append(with, w)
+		without = append(without, wo)
+		tb.AddRowf(b, "%.3f", w, wo)
+	}
+	out.MeanWith = stats.GeoMean(with)
+	out.MeanWithout = stats.GeoMean(without)
+	tb.AddRowf("geomean", "%.3f", out.MeanWith, out.MeanWithout)
+	out.Table = tb.String()
+	return out, nil
+}
+
+// ReuseGapResult is the §6.1.1 latency-tolerance census.
+type ReuseGapResult struct {
+	// PerBench is the fraction of line reuse gaps at least the LPDDR2
+	// fill latency (paper: >82% for the benefiting applications; small
+	// for tonto/dealII which reuse early).
+	PerBench map[string]float64
+	Table    string
+}
+
+// ReuseGap measures how often the second access to a line arrives late
+// enough to tolerate the slow line channel.
+func ReuseGap(r *Runner) (ReuseGapResult, error) {
+	out := ReuseGapResult{PerBench: map[string]float64{}}
+	tb := &stats.Table{Title: "§6.1.1: fraction of line reuse gaps ≥ LPDDR2 fill latency",
+		Headers: []string{"benchmark", "tolerant%"}}
+	for _, b := range r.Opts.Benchmarks {
+		res, err := r.Run(core.RL(0), b)
+		if err != nil {
+			return out, err
+		}
+		out.PerBench[b] = res.ReuseGapFracOK
+		tb.AddRowf(b, "%.1f", res.ReuseGapFracOK*100)
+	}
+	out.Table = tb.String()
+	return out, nil
+}
+
+// HotPageFraction is the §7.1 profile cut: the RLDRAM3 channel holds
+// the hottest 7.6% of pages (0.5GB of 6.5GB).
+const HotPageFraction = 0.076
+
+// ProfileHotPages replays each core's trace generator offline and
+// returns the hottest pages by access count, exactly the §7.1 static
+// profiling step. ops bounds the profile length per core.
+func ProfileHotPages(spec workload.Spec, nCores int, seed uint64, ops int) map[uint64]bool {
+	counts := map[uint64]uint64{}
+	for c := 0; c < nCores; c++ {
+		base := uint64(0)
+		if !spec.Multithreaded {
+			base = uint64(c) << 30
+		}
+		g := workload.NewGenerator(spec, c, nCores, base, seed+1)
+		for i := 0; i < ops; i++ {
+			page := cache.LineAddr(g.Next().Addr) / 64
+			counts[page]++
+		}
+	}
+	type pc struct {
+		page uint64
+		n    uint64
+	}
+	all := make([]pc, 0, len(counts))
+	for p, n := range counts {
+		all = append(all, pc{p, n})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].page < all[j].page
+	})
+	cut := int(float64(len(all)) * HotPageFraction)
+	hot := make(map[uint64]bool, cut)
+	for i := 0; i < cut; i++ {
+		hot[all[i].page] = true
+	}
+	return hot
+}
+
+// PagePlacementResult is the §7.1 comparison to page-granularity
+// placement proposals. Both normalizations are reported: against the
+// baseline-referenced alone run (the repo's standard metric) and
+// against the same-config alone run (the literal §5 formula, which is
+// the only reading under which the paper's +8% average is reachable
+// when at most 30% of accesses hit the RLDRAM channel).
+type PagePlacementResult struct {
+	PerBench map[string]float64 // normalized throughput (baseline-ref)
+	Mean     float64
+	MeanSelf float64 // §5 per-config normalization
+	Best     float64
+	WorstVal float64
+	Table    string
+}
+
+// PagePlacement evaluates the profiled hot-page system (paper: results
+// vary from −9.3% to +11.2%, mean ≈ +8%, below the CWF approach).
+func PagePlacement(r *Runner) (PagePlacementResult, error) {
+	out := PagePlacementResult{PerBench: map[string]float64{}, WorstVal: 10}
+	tb := &stats.Table{Title: "§7.1: page placement comparison (normalized throughput)",
+		Headers: []string{"benchmark", "page-placed", "self-norm"}}
+	var vals, selfVals []float64
+	for _, b := range r.Opts.Benchmarks {
+		spec, err := workload.Get(b)
+		if err != nil {
+			return out, err
+		}
+		hot := ProfileHotPages(spec, r.Opts.NCores, r.Opts.Seed, 50_000)
+		cfg := core.PagePlaced(0, hot)
+		n, res, err := r.normalize(cfg, b)
+		if err != nil {
+			return out, err
+		}
+		base, err := r.Baseline(b)
+		if err != nil {
+			return out, err
+		}
+		selfN := 0.0
+		if base.ThroughputSelf > 0 {
+			selfN = res.ThroughputSelf / base.ThroughputSelf
+		}
+		out.PerBench[b] = n
+		vals = append(vals, n)
+		selfVals = append(selfVals, selfN)
+		if n > out.Best {
+			out.Best = n
+		}
+		if n < out.WorstVal {
+			out.WorstVal = n
+		}
+		tb.AddRowf(b, "%.3f", n, selfN)
+	}
+	out.Mean = stats.GeoMean(vals)
+	out.MeanSelf = stats.GeoMean(selfVals)
+	tb.AddRowf("geomean", "%.3f", out.Mean, out.MeanSelf)
+	out.Table = tb.String()
+	return out, nil
+}

@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"hetsim/internal/core"
+	"hetsim/internal/stats"
+)
+
+// Fig6Result is the headline heterogeneous throughput comparison.
+type Fig6Result struct {
+	PerBench map[string][3]float64 // RD, RL, DL normalized throughput
+	MeanRD   float64
+	MeanRL   float64
+	MeanDL   float64
+	Table    string
+}
+
+// Fig6 measures RD/RL/DL throughput normalized to the DDR3 baseline
+// (paper: RD +21%, RL +12.9%, DL −9%).
+func Fig6(r *Runner) (Fig6Result, error) {
+	out := Fig6Result{PerBench: map[string][3]float64{}}
+	tb := &stats.Table{Title: "Figure 6: CWF system throughput (normalized to DDR3 baseline)",
+		Headers: []string{"benchmark", "RD", "RL", "DL"}}
+	var rd, rl, dl []float64
+	for _, b := range r.Opts.Benchmarks {
+		nRD, _, err := r.normalize(core.RD(0), b)
+		if err != nil {
+			return out, err
+		}
+		nRL, _, err := r.normalize(core.RL(0), b)
+		if err != nil {
+			return out, err
+		}
+		nDL, _, err := r.normalize(core.DL(0), b)
+		if err != nil {
+			return out, err
+		}
+		out.PerBench[b] = [3]float64{nRD, nRL, nDL}
+		rd = append(rd, nRD)
+		rl = append(rl, nRL)
+		dl = append(dl, nDL)
+		tb.AddRowf(b, "%.3f", nRD, nRL, nDL)
+	}
+	out.MeanRD, out.MeanRL, out.MeanDL = stats.GeoMean(rd), stats.GeoMean(rl), stats.GeoMean(dl)
+	tb.AddRowf("geomean", "%.3f", out.MeanRD, out.MeanRL, out.MeanDL)
+	out.Table = tb.String()
+	return out, nil
+}
+
+// RLChart renders the RL column of Figure 6 as ASCII bars against the
+// baseline reference.
+func (r Fig6Result) RLChart() string {
+	labels := stats.SortedKeys(r.PerBench)
+	vals := make([]float64, len(labels))
+	for i, b := range labels {
+		vals[i] = r.PerBench[b][1]
+	}
+	return stats.BarChart("Figure 6, RL bars ('|' marks the DDR3 baseline):",
+		labels, vals, 1.0, 48)
+}
+
+// Fig7Result is the requested-critical-word latency comparison.
+type Fig7Result struct {
+	PerBench map[string][4]float64 // baseline, RD, RL, DL mean latency
+	// Mean reductions vs baseline (paper: RD −30%, RL −22%).
+	ReductionRD float64
+	ReductionRL float64
+	Table       string
+}
+
+// Fig7 measures mean DRAM latency of the requested critical word.
+func Fig7(r *Runner) (Fig7Result, error) {
+	out := Fig7Result{PerBench: map[string][4]float64{}}
+	tb := &stats.Table{Title: "Figure 7: critical word latency (mean CPU cycles)",
+		Headers: []string{"benchmark", "DDR3", "RD", "RL", "DL"}}
+	var redRD, redRL []float64
+	for _, b := range r.Opts.Benchmarks {
+		base, err := r.Baseline(b)
+		if err != nil {
+			return out, err
+		}
+		rd, err := r.Run(core.RD(0), b)
+		if err != nil {
+			return out, err
+		}
+		rl, err := r.Run(core.RL(0), b)
+		if err != nil {
+			return out, err
+		}
+		dl, err := r.Run(core.DL(0), b)
+		if err != nil {
+			return out, err
+		}
+		out.PerBench[b] = [4]float64{base.CritLatency, rd.CritLatency, rl.CritLatency, dl.CritLatency}
+		if base.CritLatency > 0 {
+			redRD = append(redRD, rd.CritLatency/base.CritLatency)
+			redRL = append(redRL, rl.CritLatency/base.CritLatency)
+		}
+		tb.AddRowf(b, "%.0f", base.CritLatency, rd.CritLatency, rl.CritLatency, dl.CritLatency)
+	}
+	out.ReductionRD = 1 - stats.ArithMean(redRD)
+	out.ReductionRL = 1 - stats.ArithMean(redRL)
+	out.Table = tb.String()
+	return out, nil
+}
+
+// Fig8Result is the fraction of critical words served by RLDRAM3.
+type Fig8Result struct {
+	PerBench map[string]float64
+	Mean     float64
+	Table    string
+}
+
+// Fig8 measures the fraction of requested critical words served by the
+// fast channel under static placement (paper: ≈67% suite-wide, high for
+// word-0-biased benchmarks, low for pointer chasers).
+func Fig8(r *Runner) (Fig8Result, error) {
+	out := Fig8Result{PerBench: map[string]float64{}}
+	tb := &stats.Table{Title: "Figure 8: % critical words served by RLDRAM3 (RL, static)",
+		Headers: []string{"benchmark", "served%"}}
+	var sum float64
+	for _, b := range r.Opts.Benchmarks {
+		res, err := r.Run(core.RL(0), b)
+		if err != nil {
+			return out, err
+		}
+		out.PerBench[b] = res.CritFromFastFrac
+		sum += res.CritFromFastFrac
+		tb.AddRowf(b, "%.1f", res.CritFromFastFrac*100)
+	}
+	out.Mean = sum / float64(len(r.Opts.Benchmarks))
+	tb.AddRowf("mean", "%.1f", out.Mean*100)
+	out.Table = tb.String()
+	return out, nil
+}
+
+// Fig9Result compares placement policies on the RL configuration.
+type Fig9Result struct {
+	PerBench map[string][4]float64 // RL, RL-AD, RL-OR, RLDRAM3-homog
+	MeanRL   float64
+	MeanAD   float64
+	MeanOR   float64
+	MeanHom  float64
+	Table    string
+}
+
+// Fig9 measures static vs adaptive vs oracle placement and the
+// all-RLDRAM3 bound (paper: +12.9%, +15.7%, +28%, higher still).
+func Fig9(r *Runner) (Fig9Result, error) {
+	out := Fig9Result{PerBench: map[string][4]float64{}}
+	tb := &stats.Table{Title: "Figure 9: placement policies (throughput normalized to DDR3)",
+		Headers: []string{"benchmark", "RL", "RL-AD", "RL-OR", "RLDRAM3"}}
+	ad := core.RL(0)
+	ad.Placement = core.PlaceAdaptive
+	ad.Name = "RL-AD"
+	or := core.RL(0)
+	or.Placement = core.PlaceOracle
+	or.Name = "RL-OR"
+	var rl, adm, orm, hom []float64
+	for _, b := range r.Opts.Benchmarks {
+		nRL, _, err := r.normalize(core.RL(0), b)
+		if err != nil {
+			return out, err
+		}
+		nAD, _, err := r.normalize(ad, b)
+		if err != nil {
+			return out, err
+		}
+		nOR, _, err := r.normalize(or, b)
+		if err != nil {
+			return out, err
+		}
+		nHom, _, err := r.normalize(core.HomogeneousRLDRAM3(0), b)
+		if err != nil {
+			return out, err
+		}
+		out.PerBench[b] = [4]float64{nRL, nAD, nOR, nHom}
+		rl = append(rl, nRL)
+		adm = append(adm, nAD)
+		orm = append(orm, nOR)
+		hom = append(hom, nHom)
+		tb.AddRowf(b, "%.3f", nRL, nAD, nOR, nHom)
+	}
+	out.MeanRL, out.MeanAD = stats.GeoMean(rl), stats.GeoMean(adm)
+	out.MeanOR, out.MeanHom = stats.GeoMean(orm), stats.GeoMean(hom)
+	tb.AddRowf("geomean", "%.3f", out.MeanRL, out.MeanAD, out.MeanOR, out.MeanHom)
+	out.Table = tb.String()
+	return out, nil
+}

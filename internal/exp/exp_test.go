@@ -1,0 +1,403 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"hetsim/internal/core"
+	"hetsim/internal/workload"
+)
+
+// testOpts keeps experiment tests fast: 4 cores, a few benchmarks, and
+// the short test scale. Shape checks use generous tolerances.
+func testOpts(benches ...string) Options {
+	return Options{
+		Scale:      core.RunScale{WarmupReads: 300, MeasureReads: 2000, MaxCycles: 30_000_000},
+		Benchmarks: benches,
+		NCores:     4,
+	}
+}
+
+func TestFig1aShape(t *testing.T) {
+	r := NewRunner(testOpts("libquantum", "mcf"))
+	res, err := Fig1a(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanRLD <= 1.0 {
+		t.Errorf("RLDRAM3 homogeneous mean %v not above baseline", res.MeanRLD)
+	}
+	if res.MeanLP >= 1.0 {
+		t.Errorf("LPDDR2 homogeneous mean %v not below baseline", res.MeanLP)
+	}
+	if !strings.Contains(res.Table, "libquantum") {
+		t.Error("table missing benchmark row")
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	r := NewRunner(testOpts("mcf"))
+	res, err := Fig1b(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rld := res.Queue["RLDRAM3-homog"] + res.Core["RLDRAM3-homog"]
+	ddr := res.Queue["DDR3-baseline"] + res.Core["DDR3-baseline"]
+	lp := res.Queue["LPDDR2-homog"] + res.Core["LPDDR2-homog"]
+	if !(rld < ddr && ddr < lp) {
+		t.Errorf("latency ordering wrong: rld=%v ddr=%v lp=%v", rld, ddr, lp)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	res := Fig2()
+	if len(res.Utils) != 11 {
+		t.Fatalf("utils = %d", len(res.Utils))
+	}
+	if res.PowerMW["RLDRAM3"][0] <= 2*res.PowerMW["DDR3"][0] {
+		t.Error("idle RLDRAM3 power not >> DDR3")
+	}
+	if res.PowerMW["LPDDR2"][0] >= res.PowerMW["DDR3"][0] {
+		t.Error("idle LPDDR2 not below DDR3")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	opts := testOpts("leslie3d", "mcf")
+	r := NewRunner(opts)
+	res, err := Fig3(r, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bench := range []string{"leslie3d", "mcf"} {
+		lines := res.TopLines[bench]
+		if len(lines) == 0 {
+			t.Fatalf("%s: no per-line census", bench)
+		}
+		// Every hot line must have a dominant word (Figure 3).
+		dominated := 0
+		for _, pct := range lines {
+			for _, p := range pct {
+				if p > 50 {
+					dominated++
+					break
+				}
+			}
+		}
+		if dominated == 0 {
+			t.Errorf("%s: no line with a dominant word", bench)
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	r := NewRunner(testOpts("libquantum", "mcf", "leslie3d"))
+	res, err := Fig4(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerBench["libquantum"][0] < 0.6 {
+		t.Errorf("libquantum word0 = %v", res.PerBench["libquantum"][0])
+	}
+	if res.PerBench["mcf"][0] > 0.5 {
+		t.Errorf("mcf word0 = %v, want < 0.5", res.PerBench["mcf"][0])
+	}
+	if res.Word0Count != 2 {
+		t.Errorf("word0-dominant count = %d, want 2 of 3", res.Word0Count)
+	}
+}
+
+func TestFig6And7And8Shapes(t *testing.T) {
+	r := NewRunner(testOpts("libquantum", "mcf"))
+	f6, err := Fig6(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RD must not lose to RL on average (faster line channel).
+	if f6.MeanRD < f6.MeanRL*0.97 {
+		t.Errorf("RD %v well below RL %v", f6.MeanRD, f6.MeanRL)
+	}
+	// DL must be the weakest of the three.
+	if f6.MeanDL > f6.MeanRL || f6.MeanDL > f6.MeanRD {
+		t.Errorf("DL %v not the weakest (RD %v RL %v)", f6.MeanDL, f6.MeanRD, f6.MeanRL)
+	}
+	f7, err := Fig7(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.ReductionRD <= 0 || f7.ReductionRL <= 0 {
+		t.Errorf("critical word latency reductions RD=%v RL=%v, want positive",
+			f7.ReductionRD, f7.ReductionRL)
+	}
+	f8, err := Fig8(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(f8.PerBench["libquantum"] > f8.PerBench["mcf"]) {
+		t.Errorf("fig8: libquantum %v not above mcf %v",
+			f8.PerBench["libquantum"], f8.PerBench["mcf"])
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r := NewRunner(testOpts("mcf"))
+	res, err := Fig9(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle must top static for a pointer chaser.
+	v := res.PerBench["mcf"]
+	if !(v[2] >= v[0]) {
+		t.Errorf("oracle %v below static %v", v[2], v[0])
+	}
+	if !strings.Contains(res.Table, "RL-OR") {
+		t.Error("table missing RL-OR column")
+	}
+}
+
+func TestFig10And11Shapes(t *testing.T) {
+	r := NewRunner(testOpts("libquantum", "bzip2"))
+	f10, err := Fig10(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f10.MeanRL <= 0 || f10.MeanDL <= 0 {
+		t.Fatal("zero energy ratios")
+	}
+	// DL (no RLDRAM3 background power) must consume less than RD.
+	if f10.MeanDL >= f10.MeanRD {
+		t.Errorf("DL energy %v not below RD %v", f10.MeanDL, f10.MeanRD)
+	}
+	f11, err := Fig11(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f11.Points) != 2 {
+		t.Fatalf("points = %d", len(f11.Points))
+	}
+}
+
+func TestRandomMappingShape(t *testing.T) {
+	r := NewRunner(testOpts("libquantum"))
+	rnd, err := RandomMapping(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6, err := Fig6(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rnd.Mean < f6.MeanRL) {
+		t.Errorf("random mapping %v not below intelligent %v", rnd.Mean, f6.MeanRL)
+	}
+}
+
+func TestReuseGapShape(t *testing.T) {
+	r := NewRunner(testOpts("libquantum", "tonto"))
+	res, err := ReuseGap(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tonto reuses lines almost immediately; libquantum does not.
+	if !(res.PerBench["tonto"] < res.PerBench["libquantum"]) {
+		t.Errorf("tonto tolerance %v not below libquantum %v",
+			res.PerBench["tonto"], res.PerBench["libquantum"])
+	}
+}
+
+func TestProfileHotPages(t *testing.T) {
+	spec, err := workload.Get("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := ProfileHotPages(spec, 2, 1, 20000)
+	if len(hot) == 0 {
+		t.Fatal("no hot pages profiled")
+	}
+	// The cut must be a small fraction of touched pages.
+	if len(hot) > 20000 {
+		t.Fatalf("hot set too large: %d", len(hot))
+	}
+}
+
+func TestPagePlacementShape(t *testing.T) {
+	r := NewRunner(testOpts("leslie3d"))
+	res, err := PagePlacement(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean <= 0 {
+		t.Fatal("no page placement result")
+	}
+}
+
+func TestMalladiShape(t *testing.T) {
+	r := NewRunner(testOpts("bzip2"))
+	res, err := Malladi(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10, err := Fig10(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.MeanEnergy < f10.MeanRL) {
+		t.Errorf("Malladi energy %v not below server-adapted RL %v", res.MeanEnergy, f10.MeanRL)
+	}
+}
+
+func TestNoPrefetcherShape(t *testing.T) {
+	r := NewRunner(testOpts("leslie3d"))
+	res, err := NoPrefetcher(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanWith <= 0 || res.MeanWithout <= 0 {
+		t.Fatal("missing ablation results")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	if !strings.Contains(Table1(), "8-core") || !strings.Contains(Table1(), "48 entries") {
+		t.Error("Table1 incomplete")
+	}
+	if !strings.Contains(Table2(), "tRC") {
+		t.Error("Table2 incomplete")
+	}
+	wt := WorkloadTable()
+	if !strings.Contains(wt, "mcf") || !strings.Contains(wt, "pointer-chase") {
+		t.Error("workload table incomplete")
+	}
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := NewRunner(testOpts("libquantum"))
+	a, err := r.Run(coreBaseline(), "libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(coreBaseline(), "libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || len(r.cache) != 1 {
+		t.Error("runner did not memoize")
+	}
+}
+
+func coreBaseline() core.SystemConfig { return core.Baseline(0) }
+
+func TestCmdBusAblationShape(t *testing.T) {
+	r := NewRunner(testOpts("milc"))
+	res, err := CmdBusAblation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Private buses remove contention: never slower than shared.
+	if res.MeanPrivate < res.MeanShared*0.97 {
+		t.Errorf("private cmd bus %v well below shared %v", res.MeanPrivate, res.MeanShared)
+	}
+}
+
+func TestSubRankAblationShape(t *testing.T) {
+	r := NewRunner(testOpts("libquantum"))
+	res, err := SubRankAblation(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanNarrowPerf <= 0 || res.MeanWidePerf <= 0 ||
+		res.MeanNarrowEn <= 0 || res.MeanWideEn <= 0 {
+		t.Fatalf("missing ablation results: %+v", res)
+	}
+	// §4.2.4: narrow ranks add rank/bank parallelism — the shipping
+	// narrow organization must not lose to the wide rank.
+	if res.MeanNarrowPerf < res.MeanWidePerf*0.97 {
+		t.Errorf("narrow ranks %v well below wide rank %v",
+			res.MeanNarrowPerf, res.MeanWidePerf)
+	}
+}
+
+func TestFutureHMCShape(t *testing.T) {
+	r := NewRunner(testOpts("libquantum", "mcf"))
+	res, err := FutureHMC(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stacked links beat DIMM buses: the HMC system must not lose to RL.
+	if res.MeanHMC < res.MeanRL*0.97 {
+		t.Errorf("HMC-hetero %v well below RL %v", res.MeanHMC, res.MeanRL)
+	}
+}
+
+func TestAddressMappingShape(t *testing.T) {
+	r := NewRunner(testOpts("libquantum", "mcf"))
+	res, err := AddressMapping(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: the open-row mapping is the best-performing
+	// baseline on average.
+	if res.Means["open-row"] != 1.0 {
+		t.Fatalf("open-row mean = %v, want 1.0 by construction", res.Means["open-row"])
+	}
+	for name, m := range res.Means {
+		if name == "open-row" {
+			continue
+		}
+		if m > 1.05 {
+			t.Errorf("%s mean %v beats the open-row baseline by >5%%", name, m)
+		}
+	}
+}
+
+func TestROBSensitivityShape(t *testing.T) {
+	r := NewRunner(testOpts("libquantum"))
+	res, err := ROBSensitivity(r, []int{32, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Gains) != 2 || res.Gains[0] <= 0 || res.Gains[1] <= 0 {
+		t.Fatalf("gains = %v", res.Gains)
+	}
+	// The shallow window must benefit at least as much from the
+	// critical word head start as the deep one (simple-core motivation
+	// of §1).
+	if res.Gains[0] < res.Gains[1]*0.95 {
+		t.Errorf("rob32 gain %v well below rob128 gain %v", res.Gains[0], res.Gains[1])
+	}
+}
+
+func TestSchedulerPoliciesShape(t *testing.T) {
+	r := NewRunner(testOpts("leslie3d"))
+	res, err := SchedulerPolicies(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's choices must not lose to the alternatives on a
+	// row-locality-heavy benchmark: FR-FCFS >= FCFS and open-page >=
+	// close-page.
+	if res.MeanFCFS > 1.03 {
+		t.Errorf("FCFS %v beats FR-FCFS", res.MeanFCFS)
+	}
+	if res.MeanClosePage > 1.03 {
+		t.Errorf("close-page %v beats open-page", res.MeanClosePage)
+	}
+}
+
+func TestFigureCharts(t *testing.T) {
+	r := NewRunner(testOpts("libquantum"))
+	f6, err := Fig6(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f6.RLChart(), "libquantum") || !strings.Contains(f6.RLChart(), "#") {
+		t.Fatalf("RL chart malformed:\n%s", f6.RLChart())
+	}
+	f1, err := Fig1a(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f1.Chart(), "#") {
+		t.Fatal("Fig1a chart malformed")
+	}
+}

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"hetsim/internal/core"
+	"hetsim/internal/stats"
+)
+
+// HMCResult is the §10 future-work study: the critical-data-first idea
+// carried over to stacked memory.
+type HMCResult struct {
+	// PerBench maps benchmark -> [RL, HMC-hetero] normalized throughput.
+	PerBench map[string][2]float64
+	MeanRL   float64
+	MeanHMC  float64
+	Table    string
+}
+
+// FutureHMC compares the paper's RL system against the §10 sketch: a
+// high-frequency HMC serving critical words over low-power cubes
+// serving lines. Stacked links beat DIMM buses on both latency and
+// bandwidth, so this system should extend the RL gains.
+func FutureHMC(r *Runner) (HMCResult, error) {
+	out := HMCResult{PerBench: map[string][2]float64{}}
+	tb := &stats.Table{Title: "§10 future work: heterogeneous HMC critical-data-first",
+		Headers: []string{"benchmark", "RL", "HMC-hetero"}}
+	var rl, hmc []float64
+	for _, b := range r.Opts.Benchmarks {
+		nRL, _, err := r.normalize(core.RL(0), b)
+		if err != nil {
+			return out, err
+		}
+		nH, _, err := r.normalize(core.HMCHetero(0), b)
+		if err != nil {
+			return out, err
+		}
+		out.PerBench[b] = [2]float64{nRL, nH}
+		rl = append(rl, nRL)
+		hmc = append(hmc, nH)
+		tb.AddRowf(b, "%.3f", nRL, nH)
+	}
+	out.MeanRL, out.MeanHMC = stats.GeoMean(rl), stats.GeoMean(hmc)
+	tb.AddRowf("geomean", "%.3f", out.MeanRL, out.MeanHMC)
+	out.Table = tb.String()
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"hetsim/internal/core"
+	"hetsim/internal/stats"
+)
+
+// PolicyResult covers the §2/§5 controller-policy comparisons.
+type PolicyResult struct {
+	// MeanFCFS is the FCFS baseline's throughput normalized to the
+	// FR-FCFS baseline (expected below 1: no row-hit first-ready pass).
+	MeanFCFS float64
+	// MeanClosePage is the close-page baseline normalized to the
+	// open-page default (the paper's §5 choice of an open-row policy).
+	MeanClosePage float64
+	Table         string
+}
+
+// SchedulerPolicies measures the two controller policy ablations the
+// paper's methodology fixes: FR-FCFS scheduling (vs plain FCFS) and the
+// open-page row policy (vs close-page) for the DDR3 baseline.
+func SchedulerPolicies(r *Runner) (PolicyResult, error) {
+	var out PolicyResult
+	tb := &stats.Table{Title: "§5 controller policies: baseline DDR3 variants (normalized throughput)",
+		Headers: []string{"benchmark", "FCFS", "close-page"}}
+	fcfs := core.Baseline(0)
+	fcfs.FCFS = true
+	fcfs.Name = "DDR3-fcfs"
+	cp := core.Baseline(0)
+	cp.ClosePageLines = true
+	cp.Name = "DDR3-closepage"
+	var fv, cv []float64
+	for _, b := range r.Opts.Benchmarks {
+		nF, _, err := r.normalize(fcfs, b)
+		if err != nil {
+			return out, err
+		}
+		nC, _, err := r.normalize(cp, b)
+		if err != nil {
+			return out, err
+		}
+		fv = append(fv, nF)
+		cv = append(cv, nC)
+		tb.AddRowf(b, "%.3f", nF, nC)
+	}
+	out.MeanFCFS = stats.GeoMean(fv)
+	out.MeanClosePage = stats.GeoMean(cv)
+	tb.AddRowf("geomean", "%.3f", out.MeanFCFS, out.MeanClosePage)
+	out.Table = tb.String()
+	return out, nil
+}

@@ -1,0 +1,97 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (§3, §6, §7): each Fig/experiment function sweeps the
+// right system configurations over the benchmark suite and formats the
+// same rows/series the paper reports. A Runner memoizes (config,
+// benchmark) pairs so figures that share runs (6/7/8, 9, 10/11) pay for
+// them once.
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"hetsim/internal/core"
+	"hetsim/internal/workload"
+)
+
+// Options scope an experiment sweep.
+type Options struct {
+	Scale      core.RunScale
+	Benchmarks []string // nil = the full 26-benchmark suite
+	NCores     int      // 0 = the paper's 8
+	Seed       uint64
+	Log        io.Writer // nil = quiet
+}
+
+// withDefaults normalizes options.
+func (o Options) withDefaults() Options {
+	if o.Benchmarks == nil {
+		o.Benchmarks = workload.Names()
+	}
+	if o.NCores == 0 {
+		o.NCores = 8
+	}
+	if o.Scale == (core.RunScale{}) {
+		o.Scale = core.BenchScale()
+	}
+	return o
+}
+
+// Runner memoizes paired (shared+alone) runs.
+type Runner struct {
+	Opts  Options
+	cache map[string]core.Results
+}
+
+// NewRunner builds a runner.
+func NewRunner(opts Options) *Runner {
+	return &Runner{Opts: opts.withDefaults(), cache: make(map[string]core.Results)}
+}
+
+// Run executes (or recalls) one benchmark under one configuration,
+// returning Results with the weighted-speedup Throughput filled in.
+func (r *Runner) Run(cfg core.SystemConfig, bench string) (core.Results, error) {
+	cfg.NCores = r.Opts.NCores
+	cfg.Seed = r.Opts.Seed
+	key := cfg.Name + "|" + bench + "|" + fmt.Sprint(cfg.Placement, cfg.Prefetch, cfg.DeepSleepLP,
+		cfg.CritParityErrorRate, cfg.TrackPerLine, len(cfg.HotPages),
+		cfg.LineMapping, cfg.ROBSize, cfg.PrivateCritCmdBus, cfg.WideCritRank)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	spec, err := workload.Get(bench)
+	if err != nil {
+		return core.Results{}, err
+	}
+	if r.Opts.Log != nil {
+		fmt.Fprintf(r.Opts.Log, "  running %-12s on %-14s ...\n", bench, cfg.Name)
+	}
+	res, err := core.RunPair(cfg, spec, r.Opts.Scale)
+	if err != nil {
+		return core.Results{}, err
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// Baselines returns the baseline result for a benchmark (memoized).
+func (r *Runner) Baseline(bench string) (core.Results, error) {
+	return r.Run(core.Baseline(r.Opts.NCores), bench)
+}
+
+// normalize computes cfg throughput relative to baseline for one
+// benchmark.
+func (r *Runner) normalize(cfg core.SystemConfig, bench string) (float64, core.Results, error) {
+	base, err := r.Baseline(bench)
+	if err != nil {
+		return 0, core.Results{}, err
+	}
+	res, err := r.Run(cfg, bench)
+	if err != nil {
+		return 0, core.Results{}, err
+	}
+	if base.Throughput <= 0 {
+		return 0, res, fmt.Errorf("exp: zero baseline throughput for %s", bench)
+	}
+	return res.Throughput / base.Throughput, res, nil
+}

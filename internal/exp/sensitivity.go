@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"fmt"
+
+	"hetsim/internal/core"
+	"hetsim/internal/stats"
+)
+
+// MappingResult is the §5 address-interleaving comparison.
+type MappingResult struct {
+	// Mean normalized throughput per scheme, against the open-row
+	// baseline (which therefore reads 1.0).
+	Means map[string]float64
+	Table string
+}
+
+// AddressMapping reproduces the paper's justification for its baseline
+// mapping: the open-row scheme of Jacob et al. "results in the best
+// performing baseline on average when compared to other commonly used
+// address interleaving schemes."
+func AddressMapping(r *Runner) (MappingResult, error) {
+	out := MappingResult{Means: map[string]float64{}}
+	tb := &stats.Table{Title: "§5: baseline DDR3 under different address interleavings",
+		Headers: []string{"benchmark", "open-row", "xor-permuted", "bank-first"}}
+	schemes := []core.Mapping{core.MapDefault, core.MapXOR, core.MapBankFirst}
+	sums := make([][]float64, len(schemes))
+	rows := map[string][]float64{}
+	for si, m := range schemes {
+		cfg := core.Baseline(0)
+		cfg.LineMapping = m
+		if m != core.MapDefault {
+			cfg.Name = "DDR3-" + m.String()
+		}
+		for _, b := range r.Opts.Benchmarks {
+			n, _, err := r.normalize(cfg, b)
+			if err != nil {
+				return out, err
+			}
+			rows[b] = append(rows[b], n)
+			sums[si] = append(sums[si], n)
+		}
+	}
+	for _, b := range r.Opts.Benchmarks {
+		tb.AddRowf(b, "%.3f", rows[b]...)
+	}
+	means := make([]float64, len(schemes))
+	for si, vals := range sums {
+		means[si] = stats.GeoMean(vals)
+		out.Means[schemes[si].String()] = means[si]
+	}
+	tb.AddRowf("geomean", "%.3f", means...)
+	out.Table = tb.String()
+	return out, nil
+}
+
+// ROBResult is the reorder-buffer depth sensitivity of the CWF benefit.
+type ROBResult struct {
+	Sizes []int
+	// Gains[i] is the RL throughput gain over a baseline with the same
+	// ROB size.
+	Gains []float64
+	Table string
+}
+
+// ROBSensitivity measures how the RL gain varies with ROB depth: a
+// deeper window hides more of the line latency itself, so the critical
+// word's head start matters less (and vice versa for shallow windows,
+// which is why simple cores — the paper's §1 motivation — benefit most).
+func ROBSensitivity(r *Runner, sizes []int) (ROBResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{32, 64, 128}
+	}
+	out := ROBResult{Sizes: sizes}
+	tb := &stats.Table{Title: "ROB-depth sensitivity of the RL gain",
+		Headers: []string{"robsize", "RL/baseline"}}
+	for _, sz := range sizes {
+		base := core.Baseline(0)
+		base.ROBSize = sz
+		base.Name = fmt.Sprintf("DDR3-rob%d", sz)
+		rl := core.RL(0)
+		rl.ROBSize = sz
+		rl.Name = fmt.Sprintf("RL-rob%d", sz)
+		var gains []float64
+		for _, b := range r.Opts.Benchmarks {
+			bres, err := r.Run(base, b)
+			if err != nil {
+				return out, err
+			}
+			rres, err := r.Run(rl, b)
+			if err != nil {
+				return out, err
+			}
+			if bres.Throughput > 0 {
+				gains = append(gains, rres.Throughput/bres.Throughput)
+			}
+		}
+		g := stats.GeoMean(gains)
+		out.Gains = append(out.Gains, g)
+		tb.AddRowf(fmt.Sprint(sz), "%.3f", g)
+	}
+	out.Table = tb.String()
+	return out, nil
+}

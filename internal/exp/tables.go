@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"hetsim/internal/core"
+	"hetsim/internal/dram"
+	"hetsim/internal/workload"
+)
+
+// Table1 renders the simulated machine parameters (Table 1).
+func Table1() string {
+	var b strings.Builder
+	b.WriteString("Table 1: simulator parameters\n")
+	rows := [][2]string{
+		{"ISA", "trace-driven ROB-limit model (see DESIGN.md)"},
+		{"CMP size and core freq.", "8-core, 3.2 GHz"},
+		{"Re-order buffer", "64 entry"},
+		{"Fetch/dispatch/retire", "4 per cycle"},
+		{"L1 I/D cache", "32KB/2-way, private, 1-cycle"},
+		{"L2 cache", "4MB/64B/8-way, shared, 10-cycle"},
+		{"Coherence", "invalidation (MESI-lite) for multithreaded runs"},
+		{"Baseline DRAM", fmt.Sprintf("%d 72-bit DDR3-1600 channels, 1 rank, 9 devices", core.Channels)},
+		{"Total DRAM capacity", "8 GB"},
+		{"DRAM bus frequency", "800 MHz (LPDDR2: 400 MHz)"},
+		{"Read/write queues", "48 entries per channel"},
+		{"High/low watermarks", "32/16"},
+		{"MSHRs", fmt.Sprintf("%d", core.MSHRCapacity)},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-26s %s\n", r[0], r[1])
+	}
+	return b.String()
+}
+
+// Table2 re-exports the device timing table.
+func Table2() string { return dram.Table2() }
+
+// WorkloadTable summarizes the benchmark models in force.
+func WorkloadTable() string {
+	var b strings.Builder
+	b.WriteString("Workloads (synthetic models, see internal/workload):\n")
+	fmt.Fprintf(&b, "  %-12s %-6s %-14s %6s %6s %7s %6s\n",
+		"name", "suite", "class", "gap", "fp(MB)", "w0frac", "dep")
+	for _, n := range workload.Names() {
+		s, _ := workload.Get(n)
+		fmt.Fprintf(&b, "  %-12s %-6s %-14s %6.0f %6d %7.2f %6.2f\n",
+			s.Name, s.Suite, s.Class.String(), s.GapMean, s.FootprintMB, s.CritDist[0], s.DepFrac)
+	}
+	return b.String()
+}

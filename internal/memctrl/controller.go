@@ -1,0 +1,500 @@
+package memctrl
+
+import (
+	"hetsim/internal/dram"
+	"hetsim/internal/sim"
+	"hetsim/internal/stats"
+)
+
+// Request is one DRAM transaction. Reads invoke OnComplete when the last
+// data beat leaves the bus; DataStart lets the caller compute when the
+// critical beat arrived (conventional burst-reorder critical-word-first
+// puts the requested word on the first beat). Writes are posted: they
+// complete (from the producer's view) on enqueue and drain later.
+type Request struct {
+	Addr     uint64 // channel-local unit address
+	Kind     dram.AccessKind
+	Prefetch bool
+
+	Coord Coord
+
+	Arrive    sim.Cycle
+	IssueAt   sim.Cycle
+	DataStart sim.Cycle
+	DataEnd   sim.Cycle
+
+	openedRow bool // this request triggered its own ACT (row miss)
+
+	// OnIssue fires synchronously when the column access issues, with
+	// DataStart and DataEnd filled in: the hook the cache hierarchy
+	// uses to schedule first-beat (critical-word) delivery.
+	OnIssue func(*Request)
+	// OnComplete fires (via the engine) at DataEnd for reads.
+	OnComplete func(*Request)
+}
+
+// Config tunes one controller.
+type Config struct {
+	ReadQueueSize  int
+	WriteQueueSize int
+	HighWatermark  int // enter write drain at or above
+	LowWatermark   int // leave write drain at or below
+
+	// FCFS disables the first-ready pass: requests are served strictly
+	// oldest-first (row hits get no priority). Comparison policy for
+	// the FR-FCFS default of §5.
+	FCFS bool
+
+	// PrefetchAge promotes a prefetch to demand priority once it has
+	// waited this long. Zero uses a default.
+	PrefetchAge sim.Cycle
+
+	// SleepAfter idles before power-down entry; 0 disables power-down
+	// (RLDRAM3 has no power-down modes).
+	SleepAfter sim.Cycle
+	DeepSleep  bool // §7.2 Malladi-style deep sleep instead of fast PD
+}
+
+// DefaultConfig returns the Table 1 controller parameters for a channel
+// of the given device kind.
+func DefaultConfig(kind dram.Kind) Config {
+	c := Config{
+		ReadQueueSize:  48,
+		WriteQueueSize: 48,
+		HighWatermark:  32,
+		LowWatermark:   16,
+		PrefetchAge:    2000,
+	}
+	switch kind {
+	case dram.DDR3:
+		c.SleepAfter = 1200 // slow-exit power-down: sleep conservatively
+	case dram.LPDDR2:
+		c.SleepAfter = 320 // fast-exit: the aggressive sleep policy of §4.1
+	case dram.RLDRAM3:
+		c.SleepAfter = 0 // no power-down modes (§3: high background power)
+	case dram.HMCFast:
+		c.SleepAfter = 0 // links stay trained for latency
+	case dram.HMCLP:
+		c.SleepAfter = 2000 // link power states have slow exits
+	}
+	return c
+}
+
+// Stat aggregates controller-level statistics.
+type Stat struct {
+	Reads       stats.LatencyBreakdown
+	RowHits     uint64
+	RowMisses   uint64
+	WritesDone  uint64
+	ReadsQueued uint64
+	Drains      uint64 // write-drain mode entries
+}
+
+// Controller owns one channel. It is driven by the shared engine; all
+// methods must be called from engine context (single-threaded).
+type Controller struct {
+	Eng *sim.Engine
+	Ch  *dram.Channel
+	Map AddressMapper
+	Cfg Config
+
+	rq []*Request
+	wq []*Request
+
+	draining     bool
+	ticking      bool
+	maintArmed   bool
+	sleepArmed   bool
+	lastActivity sim.Cycle
+
+	Stats Stat
+}
+
+// New builds a controller over ch.
+func New(eng *sim.Engine, ch *dram.Channel, cfg Config) *Controller {
+	return &Controller{
+		Eng: eng, Ch: ch, Cfg: cfg,
+		Map: MapperFor(ch.Cfg, ch.Ranks()),
+	}
+}
+
+// CanAcceptRead reports whether the read queue has space.
+func (c *Controller) CanAcceptRead() bool { return len(c.rq) < c.Cfg.ReadQueueSize }
+
+// CanAcceptWrite reports whether the write queue has space.
+func (c *Controller) CanAcceptWrite() bool { return len(c.wq) < c.Cfg.WriteQueueSize }
+
+// QueueDepths reports current occupancy (reads, writes).
+func (c *Controller) QueueDepths() (int, int) { return len(c.rq), len(c.wq) }
+
+// EnqueueRead queues a read. It returns false, leaving the request
+// untouched, when the queue is full; the caller must retry (MSHR-level
+// backpressure).
+func (c *Controller) EnqueueRead(r *Request) bool {
+	if !c.CanAcceptRead() {
+		return false
+	}
+	r.Kind = dram.AccessRead
+	r.Arrive = c.Eng.Now()
+	r.Coord = c.Map.Map(r.Addr)
+	c.rq = append(c.rq, r)
+	c.Stats.ReadsQueued++
+	c.wakeRank(r.Coord.Rank)
+	c.kick()
+	return true
+}
+
+// EnqueueWrite queues a posted write.
+func (c *Controller) EnqueueWrite(r *Request) bool {
+	if !c.CanAcceptWrite() {
+		return false
+	}
+	r.Kind = dram.AccessWrite
+	r.Arrive = c.Eng.Now()
+	r.Coord = c.Map.Map(r.Addr)
+	c.wq = append(c.wq, r)
+	c.wakeRank(r.Coord.Rank)
+	c.kick()
+	return true
+}
+
+// wakeRank begins power-down exit if needed.
+func (c *Controller) wakeRank(rk int) {
+	if c.Ch.PowerState(rk) != dram.PSActive {
+		c.Ch.Wake(c.Eng.Now(), rk)
+	}
+}
+
+// kick starts the tick loop if it is not running.
+func (c *Controller) kick() {
+	if c.ticking {
+		return
+	}
+	c.ticking = true
+	c.Eng.Schedule(0, c.tick)
+}
+
+// busCycle returns the scheduling quantum.
+func (c *Controller) busCycle() sim.Cycle { return c.Ch.Cfg.Timing.BusCycle }
+
+// tick is the per-bus-cycle scheduling step.
+func (c *Controller) tick() {
+	now := c.Eng.Now()
+	issued := c.doRefresh(now)
+	if !issued {
+		issued = c.schedule(now)
+	}
+	if issued {
+		c.lastActivity = now
+	}
+
+	if len(c.rq) > 0 || len(c.wq) > 0 || c.refreshPending(now) {
+		c.Eng.Schedule(c.busCycle(), c.tick)
+		return
+	}
+	// Idle: consider power-down, then park the tick loop. A maintenance
+	// tick is left behind for refresh if the device needs it.
+	c.maybeSleep(now)
+	c.ticking = false
+	if c.Ch.Cfg.Timing.TREFI > 0 {
+		c.scheduleMaintenance(now)
+	}
+}
+
+// refreshPending reports whether any rank owes a refresh right now (the
+// tick loop must keep running until it is serviced, e.g. while the rank
+// finishes waking from power-down).
+func (c *Controller) refreshPending(now sim.Cycle) bool {
+	for rk := 0; rk < c.Ch.Ranks(); rk++ {
+		if c.Ch.RefreshDue(now, rk) {
+			return true
+		}
+	}
+	return false
+}
+
+// scheduleMaintenance arms a wake-up at the next refresh deadline. At
+// most one maintenance event is in flight at a time.
+func (c *Controller) scheduleMaintenance(now sim.Cycle) {
+	if c.maintArmed {
+		return
+	}
+	c.maintArmed = true
+	next := sim.Cycle(1<<62 - 1)
+	for rk := 0; rk < c.Ch.Ranks(); rk++ {
+		if due := c.refreshDueAt(rk); due < next {
+			next = due
+		}
+	}
+	delay := next - now
+	if delay < 0 {
+		delay = 0
+	}
+	c.Eng.Schedule(delay, func() {
+		c.maintArmed = false
+		if c.ticking {
+			return
+		}
+		anyDue := false
+		for rk := 0; rk < c.Ch.Ranks(); rk++ {
+			if c.Ch.RefreshDue(c.Eng.Now(), rk) {
+				anyDue = true
+				c.wakeRank(rk)
+			}
+		}
+		if anyDue {
+			c.kick()
+		} else if c.Ch.Cfg.Timing.TREFI > 0 {
+			c.scheduleMaintenance(c.Eng.Now())
+		}
+	})
+}
+
+// refreshDueAt approximates the next refresh deadline for maintenance
+// scheduling (the channel tracks the exact state).
+func (c *Controller) refreshDueAt(rk int) sim.Cycle {
+	now := c.Eng.Now()
+	if c.Ch.RefreshDue(now, rk) {
+		return now
+	}
+	// The channel does not expose the exact deadline; poll one interval
+	// out. Slight lateness only delays refresh, which the due check
+	// then prioritizes.
+	return now + c.Ch.Cfg.Timing.TREFI
+}
+
+// doRefresh services overdue refreshes with priority over data traffic.
+// Open banks are precharged first. Returns true if a command issued.
+func (c *Controller) doRefresh(now sim.Cycle) bool {
+	for rk := 0; rk < c.Ch.Ranks(); rk++ {
+		if !c.Ch.RefreshDue(now, rk) {
+			continue
+		}
+		c.wakeRank(rk)
+		if c.Ch.TryRefresh(now, rk) {
+			return true
+		}
+		// Precharge any open bank so refresh can proceed.
+		for bk := 0; bk < c.Ch.Cfg.Geom.Banks; bk++ {
+			if c.Ch.OpenRow(rk, bk) != -1 && c.Ch.TryPrecharge(now, rk, bk) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// maybeSleep puts idle ranks into power-down per policy.
+func (c *Controller) maybeSleep(now sim.Cycle) {
+	if c.Cfg.SleepAfter == 0 {
+		return
+	}
+	if now-c.lastActivity < c.Cfg.SleepAfter {
+		// Re-check once the idle threshold could be met.
+		c.armSleepCheck(c.Cfg.SleepAfter - (now - c.lastActivity))
+		return
+	}
+	retry := false
+	for rk := 0; rk < c.Ch.Ranks(); rk++ {
+		if c.Ch.PowerState(rk) != dram.PSActive {
+			continue
+		}
+		if !c.closeAllBanks(now, rk) {
+			retry = true
+			continue
+		}
+		if !c.Ch.Sleep(now, rk, c.Cfg.DeepSleep) {
+			retry = true // data in flight or waking: try again shortly
+		}
+	}
+	if retry {
+		c.armSleepCheck(c.busCycle() * 8)
+	}
+}
+
+// armSleepCheck schedules at most one pending sleep re-check.
+func (c *Controller) armSleepCheck(delay sim.Cycle) {
+	if c.sleepArmed {
+		return
+	}
+	c.sleepArmed = true
+	c.Eng.Schedule(delay, func() {
+		c.sleepArmed = false
+		if !c.ticking && len(c.rq) == 0 && len(c.wq) == 0 {
+			c.maybeSleep(c.Eng.Now())
+		}
+	})
+}
+
+// closeAllBanks precharges every open bank; returns true if all idle.
+func (c *Controller) closeAllBanks(now sim.Cycle, rk int) bool {
+	all := true
+	for bk := 0; bk < c.Ch.Cfg.Geom.Banks; bk++ {
+		if c.Ch.OpenRow(rk, bk) != -1 {
+			if !c.Ch.TryPrecharge(now, rk, bk) {
+				all = false
+			}
+		}
+	}
+	return all
+}
+
+// schedule issues at most one command following FR-FCFS. Returns true if
+// a command issued.
+func (c *Controller) schedule(now sim.Cycle) bool {
+	// Write drain hysteresis (high/low watermark, Table 1) plus
+	// opportunistic draining when there are no reads at all.
+	if c.draining {
+		if len(c.wq) <= c.Cfg.LowWatermark {
+			c.draining = false
+		}
+	} else if len(c.wq) >= c.Cfg.HighWatermark {
+		c.draining = true
+		c.Stats.Drains++
+	}
+	useWrites := c.draining || (len(c.rq) == 0 && len(c.wq) > 0)
+
+	if useWrites {
+		if c.issueFrom(now, c.wq, true) {
+			return true
+		}
+		// Fall through: if no write could issue, try reads anyway.
+		if len(c.rq) > 0 {
+			return c.issueFrom(now, c.rq, false)
+		}
+		return false
+	}
+	if c.issueFrom(now, c.rq, false) {
+		return true
+	}
+	// Opportunistic write CAS while reads are blocked.
+	if len(c.wq) > 0 {
+		return c.issueFrom(now, c.wq, true)
+	}
+	return false
+}
+
+// issueFrom applies FR-FCFS to one queue: first a CAS for any request
+// whose row is already open (row hit), then the oldest request's next
+// step (precharge a conflicting row or activate). Demand requests beat
+// prefetches unless the prefetch has aged past the promotion threshold.
+func (c *Controller) issueFrom(now sim.Cycle, q []*Request, isWrite bool) bool {
+	closePage := c.Ch.Cfg.Policy == dram.ClosePage
+	rldram := c.Ch.Cfg.Unified()
+
+	// Pass 1 (FR-FCFS only): row hits, demand first. RLDRAM has no
+	// open rows, and plain FCFS skips the first-ready pass entirely.
+	if !rldram && !c.Cfg.FCFS {
+		for pass := 0; pass < 2; pass++ {
+			for _, r := range q {
+				if c.deprioritized(r, pass, now) {
+					continue
+				}
+				if c.Ch.OpenRow(r.Coord.Rank, r.Coord.Bank) == r.Coord.Row {
+					if ds, ok := c.Ch.TryCAS(now, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, r.Kind, closePage); ok {
+						c.finishIssue(r, now, ds, isWrite)
+						return true
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: row management, oldest first with per-bank claiming.
+	// Each bank is driven by its oldest eligible request only (younger
+	// requests to the same bank must not thrash its row), but requests
+	// to other banks may proceed in the same scan — that bank-level
+	// parallelism keeps queue delay near zero at low load.
+	var claimed [64]bool // rank*banks+bank; covers 4 ranks x 16 banks
+	for pass := 0; pass < 2; pass++ {
+		for _, r := range q {
+			if c.deprioritized(r, pass, now) {
+				continue
+			}
+			co := r.Coord
+			idx := co.Rank*c.Ch.Cfg.Geom.Banks + co.Bank
+			if idx < len(claimed) {
+				if claimed[idx] {
+					continue // an older request owns this bank
+				}
+				claimed[idx] = true
+			}
+			if rldram {
+				if ds, ok := c.Ch.TryAccess(now, co.Rank, co.Bank, r.Kind); ok {
+					r.openedRow = true // close-page: every access opens its row
+					c.finishIssue(r, now, ds, isWrite)
+					return true
+				}
+				continue
+			}
+			open := c.Ch.OpenRow(co.Rank, co.Bank)
+			switch {
+			case open == -1:
+				if c.Ch.TryActivate(now, co.Rank, co.Bank, co.Row) {
+					r.openedRow = true
+					return true
+				}
+			case open != co.Row:
+				if c.Ch.TryPrecharge(now, co.Rank, co.Bank) {
+					return true
+				}
+			default:
+				if ds, ok := c.Ch.TryCAS(now, co.Rank, co.Bank, co.Row, r.Kind, closePage); ok {
+					c.finishIssue(r, now, ds, isWrite)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// deprioritized reports whether request r should be skipped on this
+// priority pass (pass 0 = demand + aged prefetches, pass 1 = the rest).
+func (c *Controller) deprioritized(r *Request, pass int, now sim.Cycle) bool {
+	promoted := !r.Prefetch || now-r.Arrive >= c.Cfg.PrefetchAge
+	if pass == 0 {
+		return !promoted
+	}
+	return promoted
+}
+
+// finishIssue records stats, removes r from its queue and schedules the
+// completion callback.
+func (c *Controller) finishIssue(r *Request, now, dataStart sim.Cycle, isWrite bool) {
+	r.IssueAt = now
+	r.DataStart = dataStart
+	r.DataEnd = dataStart + c.Ch.Cfg.Timing.Burst
+	if isWrite {
+		c.wq = remove(c.wq, r)
+		c.Stats.WritesDone++
+		return
+	}
+	c.rq = remove(c.rq, r)
+	if r.openedRow {
+		c.Stats.RowMisses++
+	} else {
+		c.Stats.RowHits++
+	}
+	c.Stats.Reads.Add(float64(r.IssueAt-r.Arrive), float64(r.DataStart-r.IssueAt), float64(c.Ch.Cfg.Timing.Burst))
+	if r.OnIssue != nil {
+		r.OnIssue(r)
+	}
+	if r.OnComplete != nil {
+		c.Eng.ScheduleAt(r.DataEnd, func() { r.OnComplete(r) })
+	}
+}
+
+// remove deletes r from q preserving order.
+func remove(q []*Request, r *Request) []*Request {
+	for i, x := range q {
+		if x == r {
+			copy(q[i:], q[i+1:])
+			return q[:len(q)-1]
+		}
+	}
+	return q
+}
+
+// Pending reports the number of queued requests (reads + writes).
+func (c *Controller) Pending() int { return len(c.rq) + len(c.wq) }

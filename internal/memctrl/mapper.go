@@ -1,0 +1,131 @@
+// Package memctrl implements the per-channel memory controller of the
+// paper's §5: 48-entry read and write queues with 32/16 high/low
+// watermark write draining, FR-FCFS scheduling with demand-over-prefetch
+// priority and age-based prefetch promotion, open-page or close-page row
+// management, refresh insertion, and an aggressive power-down engine for
+// the low-power channels.
+package memctrl
+
+import (
+	"fmt"
+
+	"hetsim/internal/dram"
+)
+
+// Coord locates one transfer unit inside a channel.
+type Coord struct {
+	Rank int
+	Bank int
+	Row  int64
+	Col  int
+}
+
+// AddressMapper translates a channel-local unit address (line index on
+// full-line channels, word index on critical sub-channels) to DRAM
+// coordinates.
+type AddressMapper interface {
+	Map(addr uint64) Coord
+}
+
+// OpenPageMapper is the row:rank:bank:column interleave from Jacob et
+// al. used for the DDR3 and LPDDR2 channels: column bits are lowest so a
+// sequential sweep stays in one row (maximizing row-buffer hits), then
+// banks, then ranks, then rows.
+type OpenPageMapper struct {
+	Geom  dram.Geometry
+	Ranks int
+}
+
+// Map decodes addr. Addresses beyond capacity wrap (the workload layer
+// is responsible for staying within footprint).
+func (m OpenPageMapper) Map(addr uint64) Coord {
+	cols := uint64(m.Geom.ColsPerRow)
+	banks := uint64(m.Geom.Banks)
+	ranks := uint64(m.Ranks)
+	col := addr % cols
+	addr /= cols
+	bank := addr % banks
+	addr /= banks
+	rank := addr % ranks
+	addr /= ranks
+	row := int64(addr % uint64(m.Geom.Rows))
+	return Coord{Rank: int(rank), Bank: int(bank), Row: row, Col: int(col)}
+}
+
+// ClosePageMapper is the bank-interleaved mapping used for RLDRAM3
+// channels: bank bits are lowest so consecutive accesses hit different
+// banks, maximizing bank-level parallelism (rows are never reused under
+// close-page anyway).
+type ClosePageMapper struct {
+	Geom  dram.Geometry
+	Ranks int
+}
+
+// Map decodes addr with banks lowest, then ranks, then columns, rows.
+func (m ClosePageMapper) Map(addr uint64) Coord {
+	banks := uint64(m.Geom.Banks)
+	ranks := uint64(m.Ranks)
+	cols := uint64(m.Geom.ColsPerRow)
+	bank := addr % banks
+	addr /= banks
+	rank := addr % ranks
+	addr /= ranks
+	col := addr % cols
+	addr /= cols
+	row := int64(addr % uint64(m.Geom.Rows))
+	return Coord{Rank: int(rank), Bank: int(bank), Row: row, Col: int(col)}
+}
+
+// XORMapper is the permutation-based interleaving of Zhang et al.
+// (referenced by the paper's [44] discussion of interleaving schemes):
+// the open-page layout with the bank index XOR-folded with low row
+// bits, which spreads power-of-two strides that would otherwise camp on
+// one bank.
+type XORMapper struct {
+	Geom  dram.Geometry
+	Ranks int
+}
+
+// Map decodes addr like OpenPageMapper, then permutes the bank index.
+func (m XORMapper) Map(addr uint64) Coord {
+	c := OpenPageMapper{Geom: m.Geom, Ranks: m.Ranks}.Map(addr)
+	c.Bank = (c.Bank ^ int(uint64(c.Row)&uint64(m.Geom.Banks-1))) % m.Geom.Banks
+	return c
+}
+
+// BankFirstMapper puts bank bits lowest on an open-page device:
+// consecutive lines round-robin across banks, maximizing bank-level
+// parallelism at the cost of row-buffer locality (a commonly used
+// alternative the paper's baseline mapping is chosen against).
+type BankFirstMapper struct {
+	Geom  dram.Geometry
+	Ranks int
+}
+
+// Map decodes addr with banks lowest, then columns, ranks, rows.
+func (m BankFirstMapper) Map(addr uint64) Coord {
+	banks := uint64(m.Geom.Banks)
+	cols := uint64(m.Geom.ColsPerRow)
+	ranks := uint64(m.Ranks)
+	bank := addr % banks
+	addr /= banks
+	col := addr % cols
+	addr /= cols
+	rank := addr % ranks
+	addr /= ranks
+	row := int64(addr % uint64(m.Geom.Rows))
+	return Coord{Rank: int(rank), Bank: int(bank), Row: row, Col: int(col)}
+}
+
+// MapperFor picks the conventional mapper for a channel configuration.
+func MapperFor(cfg dram.Config, ranks int) AddressMapper {
+	if cfg.Policy == dram.ClosePage {
+		return ClosePageMapper{Geom: cfg.Geom, Ranks: ranks}
+	}
+	return OpenPageMapper{Geom: cfg.Geom, Ranks: ranks}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (c Coord) String() string {
+	return fmt.Sprintf("r%d/b%d/row%d/col%d", c.Rank, c.Bank, c.Row, c.Col)
+}

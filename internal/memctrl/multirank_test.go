@@ -1,0 +1,162 @@
+package memctrl
+
+import (
+	"testing"
+
+	"hetsim/internal/dram"
+	"hetsim/internal/sim"
+)
+
+// newMultiRank builds a 4-rank RLDRAM3 word channel like one critical
+// sub-channel group sharing a command bus would use.
+func newMultiRank(ranks int) (*sim.Engine, *Controller) {
+	eng := &sim.Engine{}
+	ch := dram.NewChannel(dram.RLDRAM3WordConfig(), ranks, nil)
+	return eng, New(eng, ch, DefaultConfig(dram.RLDRAM3))
+}
+
+func TestClosePageMapperCoversRanks(t *testing.T) {
+	m := ClosePageMapper{Geom: dram.RLDRAM3WordGeometry(), Ranks: 4}
+	ranks := map[int]bool{}
+	for a := uint64(0); a < 256; a++ {
+		c := m.Map(a)
+		ranks[c.Rank] = true
+		if c.Rank < 0 || c.Rank >= 4 {
+			t.Fatalf("rank %d out of range", c.Rank)
+		}
+	}
+	if len(ranks) != 4 {
+		t.Fatalf("sequential addresses cover %d ranks, want 4", len(ranks))
+	}
+}
+
+func TestMultiRankParallelism(t *testing.T) {
+	// Same-bank same-rank accesses serialize at tRC; spreading the same
+	// load across ranks must finish sooner.
+	run := func(ranks int) sim.Cycle {
+		eng, c := newMultiRank(ranks)
+		var last sim.Cycle
+		n := 32
+		done := 0
+		for i := 0; i < n; i++ {
+			// Addresses chosen to hit bank 0 of successive ranks.
+			addr := uint64(i) * uint64(c.Ch.Cfg.Geom.Banks)
+			c.EnqueueRead(&Request{Addr: addr, OnComplete: func(r *Request) {
+				done++
+				if r.DataEnd > last {
+					last = r.DataEnd
+				}
+			}})
+		}
+		eng.RunUntil(10_000_000)
+		if done != n {
+			t.Fatalf("completed %d of %d", done, n)
+		}
+		return last
+	}
+	one, four := run(1), run(4)
+	if four >= one {
+		t.Fatalf("4 ranks (%d) not faster than 1 rank (%d)", four, one)
+	}
+}
+
+func TestDDR3WordChannelClosePage(t *testing.T) {
+	// The DL critical channel: DDR3 devices at word granularity run
+	// close-page, so every access is an ACT + CAS-with-autoprecharge.
+	eng := &sim.Engine{}
+	ch := dram.NewChannel(dram.DDR3WordConfig(), 1, nil)
+	c := New(eng, ch, DefaultConfig(dram.DDR3))
+	done := 0
+	for i := 0; i < 8; i++ {
+		// Same row repeatedly: close-page still reopens each time.
+		c.EnqueueRead(&Request{Addr: 0, OnComplete: func(*Request) { done++ }})
+	}
+	eng.RunUntil(10_000_000)
+	if done != 8 {
+		t.Fatalf("completed %d", done)
+	}
+	// Close-page means no row hits even for same-address accesses.
+	if c.Stats.RowHits != 0 {
+		t.Fatalf("row hits = %d under close-page", c.Stats.RowHits)
+	}
+	if ch.Stat.Acts != 8 {
+		t.Fatalf("acts = %d, want 8 (one per access)", ch.Stat.Acts)
+	}
+}
+
+func TestWriteThenReadSameAddress(t *testing.T) {
+	// A read enqueued after a write to the same address must still
+	// complete (no ordering deadlock), and the write must drain.
+	eng, c := newCtrl(dram.DDR3)
+	var readDone bool
+	c.EnqueueWrite(&Request{Addr: 77})
+	c.EnqueueRead(&Request{Addr: 77, OnComplete: func(*Request) { readDone = true }})
+	eng.RunUntil(5_000_000)
+	if !readDone {
+		t.Fatal("read never completed")
+	}
+	if c.Stats.WritesDone != 1 {
+		t.Fatal("write never drained")
+	}
+}
+
+func TestRefreshAcrossRanksIndependent(t *testing.T) {
+	eng := &sim.Engine{}
+	ch := dram.NewChannel(dram.DDR3Config(), 2, nil)
+	c := New(eng, ch, DefaultConfig(dram.DDR3))
+	c.Cfg.SleepAfter = 0
+	c.EnqueueRead(&Request{Addr: 0})
+	tm := ch.Cfg.Timing
+	eng.RunUntil(tm.TREFI * 3)
+	// Both ranks must have refreshed at least twice.
+	if ch.Stat.Refreshes < 4 {
+		t.Fatalf("refreshes = %d over 3 tREFI with 2 ranks", ch.Stat.Refreshes)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	_, c := newCtrl(dram.DDR3)
+	if c.Pending() != 0 {
+		t.Fatal("fresh controller pending != 0")
+	}
+	c.EnqueueRead(&Request{Addr: 1})
+	c.EnqueueWrite(&Request{Addr: 2})
+	if c.Pending() != 2 {
+		t.Fatalf("pending = %d", c.Pending())
+	}
+}
+
+func TestCoordString(t *testing.T) {
+	c := Coord{Rank: 1, Bank: 2, Row: 3, Col: 4}
+	if c.String() != "r1/b2/row3/col4" {
+		t.Fatalf("Coord string %q", c.String())
+	}
+}
+
+func TestFCFSDisablesRowHitPriority(t *testing.T) {
+	// Under FCFS, an older row-miss request must be serviced before a
+	// younger row-hit request; FR-FCFS does the opposite.
+	run := func(fcfs bool) (first uint64) {
+		eng, c := newCtrl(dram.DDR3)
+		c.Cfg.FCFS = fcfs
+		var order []uint64
+		cb := func(r *Request) { order = append(order, r.Addr) }
+		// Open a row via request A (addr 0, row 0).
+		c.EnqueueRead(&Request{Addr: 0, OnComplete: cb})
+		eng.RunUntil(500)
+		// Older request to a different row; younger row hit.
+		c.EnqueueRead(&Request{Addr: 1 << 12, OnComplete: cb}) // row miss
+		c.EnqueueRead(&Request{Addr: 1, OnComplete: cb})       // row 0 hit
+		eng.RunUntil(1_000_000)
+		if len(order) != 3 {
+			t.Fatalf("completed %d", len(order))
+		}
+		return order[1]
+	}
+	if got := run(false); got != 1 {
+		t.Errorf("FR-FCFS served %d second, want the row hit (1)", got)
+	}
+	if got := run(true); got != 1<<12 {
+		t.Errorf("FCFS served %d second, want the older miss (%d)", got, 1<<12)
+	}
+}

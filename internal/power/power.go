@@ -1,0 +1,227 @@
+// Package power implements the energy methodology of §5/§6.1.3: a
+// Micron-power-calculator-style chip model (datasheet IDD currents ×
+// activity counters from the simulator), per-flavor parameter tables
+// including the DLL/ODT adders the paper charges to server-adapted
+// LPDDR2, the power-vs-bus-utilization curves of Figure 2, and the
+// whole-system energy model (DRAM = 25% of baseline system power, CPU
+// one-third static and two-thirds activity-scaled).
+package power
+
+import (
+	"fmt"
+
+	"hetsim/internal/dram"
+	"hetsim/internal/sim"
+)
+
+// ChipParams is one DRAM die's electrical model. Currents are in mA,
+// VDD in volts, static adders in mW. The values are representative
+// datasheet-class numbers chosen to reproduce the Figure 2 curves; they
+// are not a specific part's datasheet.
+type ChipParams struct {
+	Kind dram.Kind
+	VDD  float64
+
+	IDD0  float64 // activate-precharge average current
+	IDD2P float64 // precharge power-down
+	IDD3N float64 // active standby (background)
+	IDD4R float64 // read burst
+	IDD4W float64 // write burst
+	IDD5  float64 // refresh
+	IDD6  float64 // deep power-down / self-refresh class
+
+	ODTStatic float64 // termination resistor static power (mW), when fitted
+	DLLStatic float64 // DLL idle power (mW), when fitted
+
+	TermRead  float64 // dynamic termination power during a read burst (mW)
+	TermWrite float64 // during a write burst (mW)
+}
+
+// DDR3Chip is a 2Gb x8 DDR3-1600 die.
+func DDR3Chip() ChipParams {
+	return ChipParams{Kind: dram.DDR3, VDD: 1.5,
+		// IDD2P is the fast-exit (DLL-on) power-down current matching
+		// the 6ns tXP the timing model uses.
+		IDD0: 95, IDD2P: 35, IDD3N: 45, IDD4R: 180, IDD4W: 185, IDD5: 215, IDD6: 6,
+		ODTStatic: 15, DLLStatic: 0, TermRead: 40, TermWrite: 60}
+}
+
+// LPDDR2ServerChip is the §4.1 server-adapted mobile die: native LPDDR2
+// core currents, plus the DLL idle power (charged, per §5, as DDR3-class
+// idle current) and ODT static power the adaptation adds. Power-down
+// still disables the DLL, so IDD2P stays near-native.
+func LPDDR2ServerChip() ChipParams {
+	return ChipParams{Kind: dram.LPDDR2, VDD: 1.2,
+		IDD0: 40, IDD2P: 4, IDD3N: 14, IDD4R: 140, IDD4W: 150, IDD5: 100, IDD6: 1,
+		// §5: idle consumption matched to a DDR3 chip to pay for the DLL.
+		DLLStatic: (45 - 14) * 1.2, ODTStatic: 12, TermRead: 30, TermWrite: 45}
+}
+
+// LPDDR2MalladiChip is the §7.2 variant: unmodified mobile silicon (no
+// ODT, no DLL — Malladi et al. show the signal eye tolerates it), with
+// self-refresh-class deep sleep.
+func LPDDR2MalladiChip() ChipParams {
+	c := LPDDR2ServerChip()
+	c.DLLStatic = 0
+	c.ODTStatic = 0
+	c.TermRead = 0
+	c.TermWrite = 0
+	return c
+}
+
+// RLDRAM3Chip is an x9-class RLDRAM3 die: very high background power
+// (many small active arrays, no power-down modes), modest incremental
+// access energy.
+func RLDRAM3Chip() ChipParams {
+	return ChipParams{Kind: dram.RLDRAM3, VDD: 1.35,
+		IDD0: 240, IDD2P: 210, IDD3N: 210, IDD4R: 300, IDD4W: 310, IDD5: 210, IDD6: 210,
+		ODTStatic: 15, DLLStatic: 0, TermRead: 40, TermWrite: 60}
+}
+
+// HMCFastChip is the §10 high-frequency cube: SerDes links dominate
+// background power (the paper notes HMC signalling is power-hungry).
+func HMCFastChip() ChipParams {
+	return ChipParams{Kind: dram.HMCFast, VDD: 1.2,
+		IDD0: 350, IDD2P: 280, IDD3N: 320, IDD4R: 500, IDD4W: 520, IDD5: 320, IDD6: 280,
+		ODTStatic: 0, DLLStatic: 0, TermRead: 0, TermWrite: 0}
+}
+
+// HMCLPChip is the §10 low-power, low-frequency cube.
+func HMCLPChip() ChipParams {
+	return ChipParams{Kind: dram.HMCLP, VDD: 1.1,
+		IDD0: 120, IDD2P: 20, IDD3N: 90, IDD4R: 260, IDD4W: 270, IDD5: 90, IDD6: 8,
+		ODTStatic: 0, DLLStatic: 0, TermRead: 0, TermWrite: 0}
+}
+
+// ChipFor returns the standard electrical model for a device kind.
+func ChipFor(kind dram.Kind) ChipParams {
+	switch kind {
+	case dram.DDR3:
+		return DDR3Chip()
+	case dram.LPDDR2:
+		return LPDDR2ServerChip()
+	case dram.RLDRAM3:
+		return RLDRAM3Chip()
+	case dram.HMCFast:
+		return HMCFastChip()
+	case dram.HMCLP:
+		return HMCLPChip()
+	default:
+		panic(fmt.Sprintf("power: unknown kind %v", kind))
+	}
+}
+
+// EnergyTiming carries the (nanosecond) time constants energy depends on.
+type EnergyTiming struct {
+	TRCNs   float64
+	BurstNs float64
+	TRFCNs  float64
+}
+
+// TimingFor extracts energy timing from a device timing model.
+func TimingFor(t dram.Timing) EnergyTiming {
+	toNs := func(c sim.Cycle) float64 { return float64(c) / sim.CPUFreqGHz }
+	return EnergyTiming{TRCNs: toNs(t.TRC), BurstNs: toNs(t.Burst), TRFCNs: toNs(t.TRFC)}
+}
+
+// ChannelActivity aggregates one channel's activity counters for energy
+// accounting. State cycles are rank-cycles (summed over ranks).
+type ChannelActivity struct {
+	Elapsed sim.Cycle
+
+	ActiveCycles sim.Cycle
+	PDCycles     sim.Cycle
+	DeepCycles   sim.Cycle
+
+	Acts      uint64
+	Reads     uint64
+	Writes    uint64
+	Refreshes uint64
+
+	DevicesPerRank   int // chips paying background power, per rank
+	DevicesPerAccess int // chips activated per access
+}
+
+// mwCyclesToMJ converts mW×CPU-cycles to millijoules.
+func mwCyclesToMJ(mwCycles float64) float64 {
+	seconds := 1 / (sim.CPUFreqGHz * 1e9)
+	return mwCycles * seconds * 1e-3 * 1e3 // mW×s = mJ
+}
+
+// pjToMJ converts picojoules to millijoules.
+func pjToMJ(pj float64) float64 { return pj * 1e-9 }
+
+// ChannelEnergyMJ computes the DRAM energy of one channel in mJ.
+func ChannelEnergyMJ(p ChipParams, t EnergyTiming, a ChannelActivity) float64 {
+	perChip := func(mA float64) float64 { return mA * p.VDD } // mW
+	// Background energy: per chip, per power state.
+	bg := float64(a.ActiveCycles)*(perChip(p.IDD3N)+p.DLLStatic+p.ODTStatic) +
+		float64(a.PDCycles)*perChip(p.IDD2P) +
+		float64(a.DeepCycles)*perChip(p.IDD6)
+	bgMJ := mwCyclesToMJ(bg * float64(a.DevicesPerRank))
+
+	// Event energies (pJ per chip involved).
+	actPJ := (p.IDD0 - p.IDD3N) * p.VDD * t.TRCNs
+	rdPJ := (p.IDD4R-p.IDD3N)*p.VDD*t.BurstNs + p.TermRead*t.BurstNs
+	wrPJ := (p.IDD4W-p.IDD3N)*p.VDD*t.BurstNs + p.TermWrite*t.BurstNs
+	refPJ := (p.IDD5 - p.IDD3N) * p.VDD * t.TRFCNs
+
+	evPJ := float64(a.Acts)*actPJ*float64(a.DevicesPerAccess) +
+		float64(a.Reads)*rdPJ*float64(a.DevicesPerAccess) +
+		float64(a.Writes)*wrPJ*float64(a.DevicesPerAccess) +
+		float64(a.Refreshes)*refPJ*float64(a.DevicesPerRank)
+	return bgMJ + pjToMJ(evPJ)
+}
+
+// ChipPowerMW is the Figure 2 analytic curve: one chip's power at the
+// given data-bus utilization (0..1). Open-page devices are charged one
+// activate per (1-rowHit) accesses with a 60% hit assumption; RLDRAM3
+// activates on every access (close page).
+func ChipPowerMW(p ChipParams, t EnergyTiming, util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	background := p.IDD3N*p.VDD + p.DLLStatic + p.ODTStatic
+	// Accesses per ns of wall time at this utilization.
+	accessRate := util / t.BurstNs
+	actsPerAccess := 0.4 // 60% row-buffer hits
+	if p.Kind == dram.RLDRAM3 {
+		actsPerAccess = 1
+	}
+	actPJ := (p.IDD0 - p.IDD3N) * p.VDD * t.TRCNs
+	rdPJ := (p.IDD4R-p.IDD3N)*p.VDD*t.BurstNs + p.TermRead*t.BurstNs
+	dyn := accessRate * (actsPerAccess*actPJ + rdPJ) // pJ/ns = mW
+	return background + dyn
+}
+
+// SystemModel is the §6.1.3 whole-system energy accounting.
+type SystemModel struct {
+	// BaselineDRAMPowerMW is the DRAM power of the all-DDR3 baseline,
+	// defining total baseline system power via the 25% ratio.
+	BaselineDRAMPowerMW float64
+}
+
+// DRAMShare is the baseline DRAM fraction of system power (§6.1.3).
+const DRAMShare = 0.25
+
+// SystemEnergyMJ computes total system energy for a run: the non-DRAM
+// side is one-third constant (leakage + clock) and two-thirds scaled by
+// CPU activity; DRAM energy is measured directly.
+func (m SystemModel) SystemEnergyMJ(dramMJ float64, elapsed sim.Cycle, activity float64) float64 {
+	nonDRAM := m.BaselineDRAMPowerMW * (1 - DRAMShare) / DRAMShare
+	constMW := nonDRAM / 3
+	dynMW := nonDRAM * 2 / 3 * activity
+	return mwCyclesToMJ((constMW+dynMW)*float64(elapsed)) + dramMJ
+}
+
+// PowerMW converts measured energy over elapsed cycles to mean power.
+func PowerMW(energyMJ float64, elapsed sim.Cycle) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	seconds := float64(elapsed) / (sim.CPUFreqGHz * 1e9)
+	return energyMJ / 1e3 / seconds * 1e3
+}

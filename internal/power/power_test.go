@@ -1,0 +1,176 @@
+package power
+
+import (
+	"testing"
+
+	"hetsim/internal/dram"
+	"hetsim/internal/sim"
+)
+
+func TestChipForCoverage(t *testing.T) {
+	for _, k := range []dram.Kind{dram.DDR3, dram.LPDDR2, dram.RLDRAM3} {
+		p := ChipFor(k)
+		if p.Kind != k || p.VDD <= 0 || p.IDD3N <= 0 {
+			t.Errorf("ChipFor(%v) = %+v", k, p)
+		}
+	}
+}
+
+func TestChipForUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind did not panic")
+		}
+	}()
+	ChipFor(dram.Kind(42))
+}
+
+func TestFig2Shape(t *testing.T) {
+	// Figure 2: at low utilization RLDRAM3 consumes much more than
+	// DDR3 (high background) and LPDDR2 far less; at high utilization
+	// they converge (the RLDRAM3/DDR3 gap shrinks).
+	dt := TimingFor(dram.DDR3Timing())
+	lt := TimingFor(dram.LPDDR2Timing())
+	rt := TimingFor(dram.RLDRAM3Timing())
+	d0 := ChipPowerMW(DDR3Chip(), dt, 0)
+	l0 := ChipPowerMW(LPDDR2ServerChip(), lt, 0)
+	r0 := ChipPowerMW(RLDRAM3Chip(), rt, 0)
+	if !(r0 > 2*d0) {
+		t.Errorf("idle: RLDRAM3 %v not >> DDR3 %v", r0, d0)
+	}
+	if !(l0 < d0) {
+		t.Errorf("idle: LPDDR2 %v not < DDR3 %v", l0, d0)
+	}
+	d100 := ChipPowerMW(DDR3Chip(), dt, 1)
+	r100 := ChipPowerMW(RLDRAM3Chip(), rt, 1)
+	gapLow := r0 / d0
+	gapHigh := r100 / d100
+	if gapHigh >= gapLow {
+		t.Errorf("RLDRAM3/DDR3 power ratio did not shrink with load: %v -> %v", gapLow, gapHigh)
+	}
+	// Monotonically increasing in utilization.
+	prev := 0.0
+	for u := 0.0; u <= 1.0; u += 0.1 {
+		p := ChipPowerMW(DDR3Chip(), dt, u)
+		if p < prev {
+			t.Fatalf("power not monotone at util %v", u)
+		}
+		prev = p
+	}
+	// Clamping.
+	if ChipPowerMW(DDR3Chip(), dt, -1) != ChipPowerMW(DDR3Chip(), dt, 0) {
+		t.Error("negative utilization not clamped")
+	}
+	if ChipPowerMW(DDR3Chip(), dt, 2) != ChipPowerMW(DDR3Chip(), dt, 1) {
+		t.Error("over-unity utilization not clamped")
+	}
+}
+
+func TestMalladiCheaperThanServerLPDDR2(t *testing.T) {
+	lt := TimingFor(dram.LPDDR2Timing())
+	for _, u := range []float64{0, 0.2, 0.6} {
+		if m, s := ChipPowerMW(LPDDR2MalladiChip(), lt, u), ChipPowerMW(LPDDR2ServerChip(), lt, u); m >= s {
+			t.Errorf("util %v: Malladi %v not below server-adapted %v", u, m, s)
+		}
+	}
+}
+
+func TestChannelEnergyComponents(t *testing.T) {
+	p := DDR3Chip()
+	tm := TimingFor(dram.DDR3Timing())
+	base := ChannelActivity{
+		Elapsed: 3_200_000, ActiveCycles: 3_200_000,
+		DevicesPerRank: 9, DevicesPerAccess: 9,
+	}
+	e0 := ChannelEnergyMJ(p, tm, base)
+	if e0 <= 0 {
+		t.Fatal("background energy must be positive")
+	}
+	withReads := base
+	withReads.Reads = 1000
+	withReads.Acts = 400
+	e1 := ChannelEnergyMJ(p, tm, withReads)
+	if e1 <= e0 {
+		t.Fatal("reads did not add energy")
+	}
+	// Power-down residency must reduce background energy.
+	asleep := base
+	asleep.ActiveCycles = 200_000
+	asleep.PDCycles = 3_000_000
+	e2 := ChannelEnergyMJ(p, tm, asleep)
+	if e2 >= e0 {
+		t.Fatalf("power-down energy %v not below active %v", e2, e0)
+	}
+}
+
+func TestEnergyScalesWithDevices(t *testing.T) {
+	p := RLDRAM3Chip()
+	tm := TimingFor(dram.RLDRAM3Timing())
+	one := ChannelActivity{Elapsed: 1 << 20, ActiveCycles: 1 << 20, Reads: 100, Acts: 100,
+		DevicesPerRank: 1, DevicesPerAccess: 1}
+	four := one
+	four.DevicesPerRank = 4
+	four.DevicesPerAccess = 4
+	if ChannelEnergyMJ(p, tm, four) <= 2*ChannelEnergyMJ(p, tm, one) {
+		t.Fatal("device scaling too weak")
+	}
+}
+
+func TestSystemEnergyModel(t *testing.T) {
+	m := SystemModel{BaselineDRAMPowerMW: 1000}
+	elapsed := sim.Cycle(3_200_000_000) // 1 second
+	dramMJ := 1000.0                    // 1000 mW for 1 s = 1000 mJ
+	sys := m.SystemEnergyMJ(dramMJ, elapsed, 1.0)
+	// DRAM share must come out 25% when DRAM power equals baseline and
+	// activity is 1.
+	if frac := dramMJ / sys; frac < 0.24 || frac > 0.26 {
+		t.Fatalf("DRAM share = %v, want 0.25", frac)
+	}
+	// Lower CPU activity must reduce system energy.
+	if m.SystemEnergyMJ(dramMJ, elapsed, 0.5) >= sys {
+		t.Fatal("activity scaling has no effect")
+	}
+	// One-third of the non-DRAM power must remain at zero activity.
+	zero := m.SystemEnergyMJ(0, elapsed, 0)
+	if want := 1000.0; zero < want*0.99 || zero > want*1.01 {
+		t.Fatalf("static non-DRAM energy = %v, want %v (3000mW/3 for 1s)", zero, want)
+	}
+}
+
+func TestPowerMW(t *testing.T) {
+	// 1 mJ over 1 second = 1 mW.
+	oneSecond := sim.Cycle(3_200_000_000)
+	if got := PowerMW(1, oneSecond); got < 0.99 || got > 1.01 {
+		t.Fatalf("PowerMW = %v, want 1", got)
+	}
+	if PowerMW(5, 0) != 0 {
+		t.Fatal("zero elapsed must give 0")
+	}
+}
+
+func TestTimingForConversion(t *testing.T) {
+	et := TimingFor(dram.DDR3Timing())
+	if et.TRCNs < 49 || et.TRCNs > 51 {
+		t.Errorf("tRC ns = %v, want ~50", et.TRCNs)
+	}
+	if et.BurstNs < 4.9 || et.BurstNs > 5.1 {
+		t.Errorf("burst ns = %v, want ~5", et.BurstNs)
+	}
+}
+
+func TestHMCChips(t *testing.T) {
+	fast, lp := HMCFastChip(), HMCLPChip()
+	if fast.Kind != dram.HMCFast || lp.Kind != dram.HMCLP {
+		t.Fatal("HMC chip kinds wrong")
+	}
+	// The §10 premise: the fast cube's signalling is power-hungry, the
+	// low-power cube much cheaper at idle.
+	ft := TimingFor(dram.HMCFastTiming())
+	lt := TimingFor(dram.HMCLPTiming())
+	if ChipPowerMW(fast, ft, 0) < 3*ChipPowerMW(lp, lt, 0) {
+		t.Error("fast cube idle power not well above low-power cube")
+	}
+	if ChipFor(dram.HMCFast) != fast || ChipFor(dram.HMCLP) != lp {
+		t.Error("ChipFor does not dispatch HMC kinds")
+	}
+}

@@ -1,0 +1,143 @@
+// Package sim provides the deterministic event-driven simulation kernel
+// shared by every component of the simulator: a monotonic cycle clock, a
+// binary-heap event queue with stable FIFO tie-breaking, and a seeded
+// pseudo-random number generator suitable for reproducible workloads.
+//
+// The master clock unit is one CPU cycle at 3.2 GHz. All DRAM timing
+// parameters are converted into CPU cycles at construction time so the
+// whole simulation advances on a single clock domain.
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time, measured in CPU cycles.
+type Cycle int64
+
+// CPUFreqGHz is the simulated core frequency (Table 1 of the paper).
+const CPUFreqGHz = 3.2
+
+// CyclesPerNS converts a duration in nanoseconds to CPU cycles, rounding
+// up so that timing constraints are never optimistically shortened.
+func CyclesPerNS(ns float64) Cycle {
+	c := Cycle(ns * CPUFreqGHz)
+	if float64(c) < ns*CPUFreqGHz {
+		c++
+	}
+	return c
+}
+
+// event is a scheduled callback.
+type event struct {
+	when Cycle
+	seq  uint64 // FIFO tie-break for events at the same cycle
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the event-driven simulation kernel. The zero value is ready
+// to use. Engine is not safe for concurrent use: the whole simulator is
+// single-threaded by design so that runs are bit-for-bit reproducible.
+type Engine struct {
+	now   Cycle
+	seq   uint64
+	pq    eventHeap
+	fired uint64
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Cycle { return e.now }
+
+// EventsFired reports how many events have executed, for tests and stats.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Schedule runs fn after delay cycles. A delay of zero runs fn during the
+// current cycle, after all previously scheduled work for this cycle.
+// Scheduling into the past panics: that is always a model bug.
+func (e *Engine) Schedule(delay Cycle, fn func()) {
+	if delay < 0 {
+		panic("sim: negative event delay")
+	}
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute cycle when (which must not precede Now).
+func (e *Engine) ScheduleAt(when Cycle, fn func()) {
+	if when < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.pq, event{when: when, seq: e.seq, fn: fn})
+}
+
+// Pending reports whether any events remain.
+func (e *Engine) Pending() bool { return len(e.pq) > 0 }
+
+// PeekNext returns the time of the next event; ok is false if none remain.
+func (e *Engine) PeekNext() (when Cycle, ok bool) {
+	if len(e.pq) == 0 {
+		return 0, false
+	}
+	return e.pq[0].when, true
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event lies strictly beyond end. The clock finishes at min(end, last
+// event time ≥ now). It returns the number of events executed.
+func (e *Engine) RunUntil(end Cycle) uint64 {
+	var n uint64
+	for len(e.pq) > 0 && e.pq[0].when <= end {
+		ev := heap.Pop(&e.pq).(event)
+		if ev.when > e.now {
+			e.now = ev.when
+		}
+		ev.fn()
+		n++
+		e.fired++
+	}
+	if e.now < end {
+		e.now = end
+	}
+	return n
+}
+
+// Step executes all events scheduled at the single next event time and
+// advances the clock to it. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	t := e.pq[0].when
+	for len(e.pq) > 0 && e.pq[0].when == t {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = t
+		ev.fn()
+		e.fired++
+	}
+	return true
+}
+
+// AdvanceTo moves the clock forward to when without running events beyond
+// it. Used by cycle-stepped components interleaved with the event queue.
+func (e *Engine) AdvanceTo(when Cycle) {
+	if when > e.now {
+		e.now = when
+	}
+}

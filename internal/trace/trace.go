@@ -1,0 +1,208 @@
+// Package trace records the simulator's DRAM fill stream to a portable
+// CSV form and computes summaries from recorded traces. Traces make
+// runs inspectable offline (which words missed, how long each part of a
+// split fill took) and feed external tooling; cmd/hetsim -trace writes
+// them.
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Record is one completed line fill.
+type Record struct {
+	Born     int64  // cycle the MSHR entry was allocated
+	Done     int64  // cycle the full line had arrived
+	CritAt   int64  // cycle the fast-path word arrived (0 if none)
+	LineAddr uint64 // line address
+	MissWord int    // word whose access triggered the fill
+	CritWord int    // word the fast path carried
+	Store    bool   // write-allocate fill
+	Prefetch bool
+	Parity   bool // critical word was withheld by a parity error
+}
+
+// ServedFast reports whether the requested word came from the fast path.
+func (r Record) ServedFast() bool {
+	return !r.Parity && r.MissWord == r.CritWord && r.CritAt > 0
+}
+
+// FillLatency is the end-to-end fill time.
+func (r Record) FillLatency() int64 { return r.Done - r.Born }
+
+// CritLatency is the requested-word latency: the fast path if it served
+// the request, the full line otherwise.
+func (r Record) CritLatency() int64 {
+	if r.ServedFast() {
+		return r.CritAt - r.Born
+	}
+	return r.Done - r.Born
+}
+
+// header is the CSV column set, stable for external consumers.
+var header = []string{"born", "done", "crit_at", "line_addr", "miss_word",
+	"crit_word", "store", "prefetch", "parity"}
+
+// Writer streams records as CSV.
+type Writer struct {
+	cw      *csv.Writer
+	wroteHd bool
+	n       uint64
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{cw: csv.NewWriter(bufio.NewWriter(w))}
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	if !w.wroteHd {
+		if err := w.cw.Write(header); err != nil {
+			return err
+		}
+		w.wroteHd = true
+	}
+	row := []string{
+		strconv.FormatInt(r.Born, 10),
+		strconv.FormatInt(r.Done, 10),
+		strconv.FormatInt(r.CritAt, 10),
+		strconv.FormatUint(r.LineAddr, 10),
+		strconv.Itoa(r.MissWord),
+		strconv.Itoa(r.CritWord),
+		boolStr(r.Store),
+		boolStr(r.Prefetch),
+		boolStr(r.Parity),
+	}
+	w.n++
+	return w.cw.Write(row)
+}
+
+// Flush drains buffered output; call before closing the sink.
+func (w *Writer) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+// Count reports records written.
+func (w *Writer) Count() uint64 { return w.n }
+
+func boolStr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// Read parses a CSV trace produced by Writer.
+func Read(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	if len(rows[0]) != len(header) || rows[0][0] != "born" {
+		return nil, fmt.Errorf("trace: unrecognized header %v", rows[0])
+	}
+	out := make([]Record, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", i+2, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func parseRow(row []string) (Record, error) {
+	var r Record
+	if len(row) != len(header) {
+		return r, fmt.Errorf("want %d fields, got %d", len(header), len(row))
+	}
+	var err error
+	if r.Born, err = strconv.ParseInt(row[0], 10, 64); err != nil {
+		return r, err
+	}
+	if r.Done, err = strconv.ParseInt(row[1], 10, 64); err != nil {
+		return r, err
+	}
+	if r.CritAt, err = strconv.ParseInt(row[2], 10, 64); err != nil {
+		return r, err
+	}
+	if r.LineAddr, err = strconv.ParseUint(row[3], 10, 64); err != nil {
+		return r, err
+	}
+	if r.MissWord, err = strconv.Atoi(row[4]); err != nil {
+		return r, err
+	}
+	if r.CritWord, err = strconv.Atoi(row[5]); err != nil {
+		return r, err
+	}
+	r.Store = row[6] == "1"
+	r.Prefetch = row[7] == "1"
+	r.Parity = row[8] == "1"
+	return r, nil
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Fills         int
+	Demand        int
+	Stores        int
+	Prefetches    int
+	ServedFast    int
+	ParityHeld    int
+	MeanFillLat   float64
+	MeanCritLat   float64 // over demand fills
+	WordHistogram [8]int  // miss words of demand fills
+}
+
+// Summarize computes a Summary over records.
+func Summarize(recs []Record) Summary {
+	var s Summary
+	var fillSum, critSum float64
+	for _, r := range recs {
+		s.Fills++
+		fillSum += float64(r.FillLatency())
+		switch {
+		case r.Prefetch:
+			s.Prefetches++
+		case r.Store:
+			s.Stores++
+		default:
+			s.Demand++
+			critSum += float64(r.CritLatency())
+			if r.MissWord >= 0 && r.MissWord < 8 {
+				s.WordHistogram[r.MissWord]++
+			}
+			if r.ServedFast() {
+				s.ServedFast++
+			}
+		}
+		if r.Parity {
+			s.ParityHeld++
+		}
+	}
+	if s.Fills > 0 {
+		s.MeanFillLat = fillSum / float64(s.Fills)
+	}
+	if s.Demand > 0 {
+		s.MeanCritLat = critSum / float64(s.Demand)
+	}
+	return s
+}
+
+// String renders the summary for the CLI.
+func (s Summary) String() string {
+	return fmt.Sprintf("fills=%d demand=%d stores=%d prefetch=%d servedFast=%d parityHeld=%d meanFill=%.1f meanCrit=%.1f",
+		s.Fills, s.Demand, s.Stores, s.Prefetches, s.ServedFast, s.ParityHeld,
+		s.MeanFillLat, s.MeanCritLat)
+}

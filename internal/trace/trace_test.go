@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() []Record {
+	return []Record{
+		{Born: 100, Done: 300, CritAt: 150, LineAddr: 42, MissWord: 0, CritWord: 0},
+		{Born: 200, Done: 500, CritAt: 260, LineAddr: 43, MissWord: 3, CritWord: 0},
+		{Born: 300, Done: 600, CritAt: 340, LineAddr: 44, MissWord: 1, CritWord: 1, Store: true},
+		{Born: 400, Done: 700, CritAt: 0, LineAddr: 45, MissWord: 0, CritWord: 0, Prefetch: true},
+		{Born: 500, Done: 900, CritAt: 540, LineAddr: 46, MissWord: 0, CritWord: 0, Parity: true},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range sample() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 5 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sample()
+	if len(got) != len(want) {
+		t.Fatalf("read %d records", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// Property: arbitrary records survive the CSV round trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(born, done, crit uint32, la uint64, mw, cw uint8, st, pf, pa bool) bool {
+		in := Record{Born: int64(born), Done: int64(done), CritAt: int64(crit),
+			LineAddr: la, MissWord: int(mw % 8), CritWord: int(cw % 8),
+			Store: st, Prefetch: pf, Parity: pa}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if w.Write(in) != nil || w.Flush() != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		return err == nil && len(out) == 1 && out[0] == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	bad := strings.Join(header, ",") + "\nnot,a,number,4,5,6,0,0,0\n"
+	if _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Fatal("bad row accepted")
+	}
+	if recs, err := Read(strings.NewReader("")); err != nil || recs != nil {
+		t.Fatal("empty input must give empty trace")
+	}
+}
+
+func TestRecordSemantics(t *testing.T) {
+	r := Record{Born: 100, Done: 300, CritAt: 150, MissWord: 0, CritWord: 0}
+	if !r.ServedFast() || r.CritLatency() != 50 || r.FillLatency() != 200 {
+		t.Fatalf("fast record: served=%v crit=%d fill=%d", r.ServedFast(), r.CritLatency(), r.FillLatency())
+	}
+	slow := Record{Born: 100, Done: 300, CritAt: 150, MissWord: 3, CritWord: 0}
+	if slow.ServedFast() || slow.CritLatency() != 200 {
+		t.Fatal("slow-word record semantics wrong")
+	}
+	held := Record{Born: 100, Done: 300, CritAt: 150, MissWord: 0, CritWord: 0, Parity: true}
+	if held.ServedFast() || held.CritLatency() != 200 {
+		t.Fatal("parity-held record semantics wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sample())
+	if s.Fills != 5 || s.Demand != 3 || s.Stores != 1 || s.Prefetches != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.ServedFast != 1 { // only the first record
+		t.Fatalf("servedFast = %d", s.ServedFast)
+	}
+	if s.ParityHeld != 1 {
+		t.Fatalf("parityHeld = %d", s.ParityHeld)
+	}
+	if s.WordHistogram[0] != 2 || s.WordHistogram[3] != 1 {
+		t.Fatalf("word histogram %v", s.WordHistogram)
+	}
+	if s.MeanFillLat <= 0 || s.MeanCritLat <= 0 {
+		t.Fatal("latencies missing")
+	}
+	if !strings.Contains(s.String(), "servedFast=1") {
+		t.Fatalf("summary string %q", s.String())
+	}
+	empty := Summarize(nil)
+	if empty.Fills != 0 || empty.MeanFillLat != 0 {
+		t.Fatal("empty summary wrong")
+	}
+}
