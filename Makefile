@@ -1,0 +1,34 @@
+# Verify path for the hetsim repro. `make verify` is what CI (and the
+# per-PR tier-1 gate) should run: build + vet + tests + the race
+# detector over the whole module, including the parallel-engine
+# determinism and stress tests.
+
+GO ?= go
+
+.PHONY: build vet test race fuzz bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# The race detector has real work here: the experiment engine fans
+# (config, benchmark) runs across a worker pool, and the stress test
+# (internal/exp TestRunnerConcurrentStress) hammers the shared memo
+# cache from many goroutines.
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the trace parser (seed corpus always runs as
+# part of plain `make test`).
+fuzz:
+	$(GO) test ./internal/trace/ -fuzz FuzzParse -fuzztime 30s
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+verify: build vet test race

@@ -31,6 +31,9 @@ func benchOpts() exp.Options {
 		Benchmarks: benchSubset,
 		NCores:     8,
 		Seed:       1,
+		// Workers 0 fans simulation runs across all cores via
+		// internal/runpool; figure numbers are identical to -j 1.
+		Workers: 0,
 	}
 }
 

@@ -19,6 +19,7 @@ func main() {
 	benches := flag.String("benchmarks", "libquantum,leslie3d,mcf,lbm,bzip2,sjeng", "subset")
 	scaleName := flag.String("scale", "test", "test|bench|paper")
 	cores := flag.Int("cores", 8, "core count")
+	workers := flag.Int("j", 0, "parallel runs (0 = GOMAXPROCS, 1 = serial; output is identical)")
 	flag.Parse()
 
 	var scale hetsim.Scale
@@ -44,11 +45,18 @@ func main() {
 	}
 	list := strings.Split(*benches, ",")
 
+	// All (config, benchmark) pairs go onto the shared experiment
+	// runner up front; the collection loops below read memoized
+	// results in deterministic order.
+	runner := hetsim.NewExperiments(hetsim.ExperimentOptions{
+		Scale: scale, Benchmarks: list, NCores: *cores, Workers: *workers})
+	runner.Submit(configs...)
+
 	type row struct{ vsBase, vsSelf float64 }
 	sums := map[string][]row{}
 	base := map[string]hetsim.Results{}
 	for _, b := range list {
-		r, err := hetsim.RunPair(configs[0], b, scale)
+		r, err := runner.Run(configs[0], b)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -58,7 +66,7 @@ func main() {
 	fmt.Printf("%-14s %-12s %10s %10s %8s %8s\n", "config", "bench", "T/Tbase", "WSself/b", "critLat", "sumIPC")
 	for _, cfg := range configs {
 		for _, b := range list {
-			r, err := hetsim.RunPair(cfg, b, scale)
+			r, err := runner.Run(cfg, b)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)

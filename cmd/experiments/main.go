@@ -7,6 +7,7 @@
 //	experiments -only fig6,fig10     # a subset of experiments
 //	experiments -scale paper         # §5-sized runs (2M reads; slow)
 //	experiments -benchmarks mcf,lbm  # a subset of workloads
+//	experiments -j 8                 # run up to 8 simulations in parallel
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hetsim"
 	"hetsim/internal/exp"
@@ -26,8 +28,10 @@ func main() {
 	cores := flag.Int("cores", 8, "core count")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	measure := flag.Uint64("measure", 0, "override measured DRAM reads per run (0 = scale default)")
+	workers := flag.Int("j", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial; results are identical)")
 	verbose := flag.Bool("v", false, "log each run")
 	flag.Parse()
+	start := time.Now()
 
 	var scale hetsim.Scale
 	switch *scaleName {
@@ -47,7 +51,7 @@ func main() {
 		scale.WarmupReads = *measure / 10
 		scale.MaxCycles = 1 << 40
 	}
-	opts := exp.Options{Scale: scale, NCores: *cores, Seed: *seed}
+	opts := exp.Options{Scale: scale, NCores: *cores, Seed: *seed, Workers: *workers}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -277,4 +281,7 @@ func main() {
 			fmt.Println(s)
 		}
 	}
+	st := r.Stats()
+	fmt.Fprintf(os.Stderr, "experiments: %d runs (%d deduped) on %d workers in %.1fs\n",
+		st.Executed, st.Deduped, r.Workers(), time.Since(start).Seconds())
 }

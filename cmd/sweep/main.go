@@ -8,6 +8,7 @@
 //	sweep -bench mcf -config rl -param parityrate -values 0,0.01,0.1,1
 //	sweep -bench leslie3d -config baseline -param cores -values 1,2,4,8
 //	sweep -bench mg -config rl -param reads -values 5000,20000,80000
+//	sweep ... -j 4                 # run grid points in parallel
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"strings"
 
 	"hetsim"
+	"hetsim/internal/runpool"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 	scaleName := flag.String("scale", "test", "base run scale: test|bench|paper")
 	out := flag.String("o", "", "output CSV path (default stdout)")
 	pair := flag.Bool("pair", false, "run the stand-alone reference too (fills throughput columns)")
+	workers := flag.Int("j", 0, "parallel grid points (0 = GOMAXPROCS, 1 = serial; output is identical)")
 	flag.Parse()
 
 	var scale hetsim.Scale
@@ -55,9 +58,16 @@ func main() {
 	cw := csv.NewWriter(w)
 	defer cw.Flush()
 
-	wroteHeader := false
+	// Build every grid point first, then fan the runs across the pool
+	// and collect rows in grid order, so the CSV is byte-identical at
+	// any -j.
+	var vals []string
 	for _, vs := range strings.Split(*values, ",") {
-		vs = strings.TrimSpace(vs)
+		vals = append(vals, strings.TrimSpace(vs))
+	}
+	pool := runpool.New[int, hetsim.Results](*workers)
+	tasks := make([]*runpool.Task[hetsim.Results], len(vals))
+	for i, vs := range vals {
 		cfg, err := baseConfig(*config, 8)
 		if err != nil {
 			fatal(err)
@@ -94,19 +104,23 @@ func main() {
 		}
 		cfg.Name = fmt.Sprintf("%s[%s=%s]", cfg.Name, *param, vs)
 
-		var res hetsim.Results
-		if *pair {
-			var err error
-			res, err = hetsim.RunPair(cfg, *bench, runScale)
-			if err != nil {
-				fatal(err)
+		tasks[i] = pool.Submit(i, func() (hetsim.Results, error) {
+			if *pair {
+				return hetsim.RunPair(cfg, *bench, runScale)
 			}
-		} else {
 			sys, err := hetsim.NewSystem(cfg, *bench)
 			if err != nil {
-				fatal(err)
+				return hetsim.Results{}, err
 			}
-			res = sys.Run(runScale)
+			return sys.Run(runScale), nil
+		})
+	}
+
+	wroteHeader := false
+	for i, vs := range vals {
+		res, err := tasks[i].Wait()
+		if err != nil {
+			fatal(err)
 		}
 		if !wroteHeader {
 			if err := cw.Write(append([]string{"param", "value"}, res.CSVHeader()...)); err != nil {

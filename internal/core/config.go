@@ -128,6 +128,89 @@ type SystemConfig struct {
 	Seed uint64
 }
 
+// ConfigKey is a comparable identity for a SystemConfig, fit for use
+// as a memoization map key: two configs with equal keys produce
+// identical simulation results. Every SystemConfig field that affects
+// behaviour appears here — HotPages is reduced to an order-independent
+// digest plus cardinality, and TraceFn is excluded (its doc comment
+// already declares it not part of a configuration's identity). A
+// reflection test (TestConfigKeyCoversSystemConfig) fails the build's
+// test run if a field is added to SystemConfig without a deliberate
+// decision about its place in the key, so new knobs can never silently
+// alias distinct configurations.
+type ConfigKey struct {
+	Name                string
+	NCores              int
+	LineKind            dram.Kind
+	Split               bool
+	CritKind            dram.Kind
+	Placement           Placement
+	Prefetch            bool
+	DeepSleepLP         bool
+	PagePlacement       bool
+	HotPagesLen         int
+	HotPagesDigest      uint64
+	CritParityErrorRate float64
+	PrivateCritCmdBus   bool
+	WideCritRank        bool
+	TrackPerLine        bool
+	LineMapping         Mapping
+	ROBSize             int
+	FCFS                bool
+	ClosePageLines      bool
+	Seed                uint64
+}
+
+// Key derives the comparable identity of the configuration.
+func (c SystemConfig) Key() ConfigKey {
+	return ConfigKey{
+		Name:                c.Name,
+		NCores:              c.NCores,
+		LineKind:            c.LineKind,
+		Split:               c.Split,
+		CritKind:            c.CritKind,
+		Placement:           c.Placement,
+		Prefetch:            c.Prefetch,
+		DeepSleepLP:         c.DeepSleepLP,
+		PagePlacement:       c.PagePlacement,
+		HotPagesLen:         len(c.HotPages),
+		HotPagesDigest:      hotPagesDigest(c.HotPages),
+		CritParityErrorRate: c.CritParityErrorRate,
+		PrivateCritCmdBus:   c.PrivateCritCmdBus,
+		WideCritRank:        c.WideCritRank,
+		TrackPerLine:        c.TrackPerLine,
+		LineMapping:         c.LineMapping,
+		ROBSize:             c.ROBSize,
+		FCFS:                c.FCFS,
+		ClosePageLines:      c.ClosePageLines,
+		Seed:                c.Seed,
+	}
+}
+
+// hotPagesDigest folds the hot-page set into an order-independent
+// 64-bit digest: each member page is mixed through splitmix64 and the
+// results XOR-combined, so map iteration order cannot influence the
+// digest. Pages mapped to false are skipped — they are not in the set.
+func hotPagesDigest(hot map[uint64]bool) uint64 {
+	var d uint64
+	for page, in := range hot {
+		if !in {
+			continue
+		}
+		d ^= splitmix64(page)
+	}
+	return d
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-distributed 64-bit mixing function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Mapping selects the line channels' address interleaving scheme.
 type Mapping int
 

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hetsim/internal/dram"
+)
+
+// TestConfigKeyCoversSystemConfig enforces by reflection that every
+// SystemConfig field is accounted for in ConfigKey. Adding a field to
+// SystemConfig without updating this mapping (and Key) fails here, so
+// the memo cache can never silently alias two distinct configurations
+// the way the old fmt.Sprint string key could.
+func TestConfigKeyCoversSystemConfig(t *testing.T) {
+	// How each SystemConfig field appears in ConfigKey. Empty string =
+	// deliberately excluded (must be justified in the comment).
+	mapping := map[string][]string{
+		"Name":                {"Name"},
+		"NCores":              {"NCores"},
+		"LineKind":            {"LineKind"},
+		"Split":               {"Split"},
+		"CritKind":            {"CritKind"},
+		"Placement":           {"Placement"},
+		"Prefetch":            {"Prefetch"},
+		"DeepSleepLP":         {"DeepSleepLP"},
+		"PagePlacement":       {"PagePlacement"},
+		"HotPages":            {"HotPagesLen", "HotPagesDigest"},
+		"CritParityErrorRate": {"CritParityErrorRate"},
+		"PrivateCritCmdBus":   {"PrivateCritCmdBus"},
+		"WideCritRank":        {"WideCritRank"},
+		"TrackPerLine":        {"TrackPerLine"},
+		"LineMapping":         {"LineMapping"},
+		"ROBSize":             {"ROBSize"},
+		"FCFS":                {"FCFS"},
+		"ClosePageLines":      {"ClosePageLines"},
+		"Seed":                {"Seed"},
+		// TraceFn is an observation hook; its doc comment declares it
+		// "not part of a configuration's identity".
+		"TraceFn": nil,
+	}
+
+	cfgT := reflect.TypeOf(SystemConfig{})
+	keyT := reflect.TypeOf(ConfigKey{})
+	keyFields := map[string]bool{}
+	for i := 0; i < keyT.NumField(); i++ {
+		keyFields[keyT.Field(i).Name] = true
+	}
+
+	covered := map[string]bool{}
+	for i := 0; i < cfgT.NumField(); i++ {
+		name := cfgT.Field(i).Name
+		targets, ok := mapping[name]
+		if !ok {
+			t.Errorf("SystemConfig.%s is not accounted for in ConfigKey: "+
+				"add it to SystemConfig.Key (or deliberately exclude it here)", name)
+			continue
+		}
+		for _, kf := range targets {
+			if !keyFields[kf] {
+				t.Errorf("SystemConfig.%s maps to missing ConfigKey field %s", name, kf)
+			}
+			covered[kf] = true
+		}
+	}
+	for kf := range keyFields {
+		if !covered[kf] {
+			t.Errorf("ConfigKey.%s corresponds to no SystemConfig field", kf)
+		}
+	}
+}
+
+// TestConfigKeyDistinguishes flips every key-relevant field of a config
+// one at a time and asserts the key changes — differing configs never
+// collide in the memo cache.
+func TestConfigKeyDistinguishes(t *testing.T) {
+	base := RL(8)
+	variants := map[string]SystemConfig{}
+	add := func(name string, mut func(*SystemConfig)) {
+		c := base
+		mut(&c)
+		variants[name] = c
+	}
+	add("Name", func(c *SystemConfig) { c.Name = "other" })
+	add("NCores", func(c *SystemConfig) { c.NCores = 4 })
+	add("LineKind", func(c *SystemConfig) { c.LineKind = dram.DDR3 })
+	add("Split", func(c *SystemConfig) { c.Split = false })
+	add("CritKind", func(c *SystemConfig) { c.CritKind = dram.DDR3 })
+	add("Placement", func(c *SystemConfig) { c.Placement = PlaceOracle })
+	add("Prefetch", func(c *SystemConfig) { c.Prefetch = false })
+	add("DeepSleepLP", func(c *SystemConfig) { c.DeepSleepLP = true })
+	add("PagePlacement", func(c *SystemConfig) { c.PagePlacement = true })
+	add("HotPages", func(c *SystemConfig) { c.HotPages = map[uint64]bool{7: true} })
+	add("CritParityErrorRate", func(c *SystemConfig) { c.CritParityErrorRate = 0.5 })
+	add("PrivateCritCmdBus", func(c *SystemConfig) { c.PrivateCritCmdBus = true })
+	add("WideCritRank", func(c *SystemConfig) { c.WideCritRank = true })
+	add("TrackPerLine", func(c *SystemConfig) { c.TrackPerLine = true })
+	add("LineMapping", func(c *SystemConfig) { c.LineMapping = MapXOR })
+	add("ROBSize", func(c *SystemConfig) { c.ROBSize = 128 })
+	add("FCFS", func(c *SystemConfig) { c.FCFS = true })
+	add("ClosePageLines", func(c *SystemConfig) { c.ClosePageLines = true })
+	add("Seed", func(c *SystemConfig) { c.Seed = 99 })
+
+	baseKey := base.Key()
+	for name, v := range variants {
+		if v.Key() == baseKey {
+			t.Errorf("flipping %s did not change the ConfigKey", name)
+		}
+	}
+
+	// The old fmt.Sprint key collided configs that differed only in a
+	// field missing from the format string (e.g. FCFS); prove the
+	// struct key separates two such realistic configs.
+	a := Baseline(8)
+	b := Baseline(8)
+	b.FCFS = true
+	if a.Key() == b.Key() {
+		t.Error("FCFS on/off configs collide")
+	}
+}
+
+// TestHotPagesDigestOrderIndependent checks the digest ignores map
+// iteration order and false entries but sees membership changes.
+func TestHotPagesDigestOrderIndependent(t *testing.T) {
+	a := map[uint64]bool{1: true, 2: true, 3: true}
+	b := map[uint64]bool{3: true, 2: true, 1: true, 4: false}
+	if hotPagesDigest(a) != hotPagesDigest(b) {
+		t.Error("digest depends on order or false entries")
+	}
+	c := map[uint64]bool{1: true, 2: true, 5: true}
+	if hotPagesDigest(a) == hotPagesDigest(c) {
+		t.Error("digest blind to membership change")
+	}
+	if hotPagesDigest(nil) != 0 {
+		t.Error("nil set digest not zero")
+	}
+}

@@ -27,6 +27,7 @@ func RandomMapping(r *Runner) (RandomMappingResult, error) {
 	cfg := core.RL(0)
 	cfg.Placement = core.PlaceRandom
 	cfg.Name = "RL-random"
+	r.Submit(core.Baseline(0), cfg)
 	var vals []float64
 	for _, b := range r.Opts.Benchmarks {
 		n, _, err := r.normalize(cfg, b)
@@ -70,6 +71,7 @@ func NoPrefetcher(r *Runner) (NoPrefetcherResult, error) {
 	rlNo := core.RL(0)
 	rlNo.Prefetch = false
 	rlNo.Name = "RL-nopf"
+	r.Submit(basePF, rlPF, baseNo, rlNo)
 	var with, without []float64
 	for _, b := range r.Opts.Benchmarks {
 		bp, err := r.Run(basePF, b)
@@ -118,6 +120,7 @@ type ReuseGapResult struct {
 // ReuseGap measures how often the second access to a line arrives late
 // enough to tolerate the slow line channel.
 func ReuseGap(r *Runner) (ReuseGapResult, error) {
+	r.Submit(core.RL(0))
 	out := ReuseGapResult{PerBench: map[string]float64{}}
 	tb := &stats.Table{Title: "§6.1.1: fraction of line reuse gaps ≥ LPDDR2 fill latency",
 		Headers: []string{"benchmark", "tolerant%"}}
@@ -196,15 +199,22 @@ func PagePlacement(r *Runner) (PagePlacementResult, error) {
 	out := PagePlacementResult{PerBench: map[string]float64{}, WorstVal: 10}
 	tb := &stats.Table{Title: "§7.1: page placement comparison (normalized throughput)",
 		Headers: []string{"benchmark", "page-placed", "self-norm"}}
-	var vals, selfVals []float64
+	// Each benchmark gets its own profiled configuration, so the sweep
+	// is submitted per bench as soon as its profile is ready.
+	r.Submit(core.Baseline(0))
+	cfgs := map[string]core.SystemConfig{}
 	for _, b := range r.Opts.Benchmarks {
 		spec, err := workload.Get(b)
 		if err != nil {
 			return out, err
 		}
 		hot := ProfileHotPages(spec, r.Opts.NCores, r.Opts.Seed, 50_000)
-		cfg := core.PagePlaced(0, hot)
-		n, res, err := r.normalize(cfg, b)
+		cfgs[b] = core.PagePlaced(0, hot)
+		r.Start(cfgs[b], b)
+	}
+	var vals, selfVals []float64
+	for _, b := range r.Opts.Benchmarks {
+		n, res, err := r.normalize(cfgs[b], b)
 		if err != nil {
 			return out, err
 		}

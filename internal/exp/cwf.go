@@ -17,6 +17,7 @@ type Fig6Result struct {
 // Fig6 measures RD/RL/DL throughput normalized to the DDR3 baseline
 // (paper: RD +21%, RL +12.9%, DL −9%).
 func Fig6(r *Runner) (Fig6Result, error) {
+	r.Submit(core.Baseline(0), core.RD(0), core.RL(0), core.DL(0))
 	out := Fig6Result{PerBench: map[string][3]float64{}}
 	tb := &stats.Table{Title: "Figure 6: CWF system throughput (normalized to DDR3 baseline)",
 		Headers: []string{"benchmark", "RD", "RL", "DL"}}
@@ -69,6 +70,7 @@ type Fig7Result struct {
 
 // Fig7 measures mean DRAM latency of the requested critical word.
 func Fig7(r *Runner) (Fig7Result, error) {
+	r.Submit(core.Baseline(0), core.RD(0), core.RL(0), core.DL(0))
 	out := Fig7Result{PerBench: map[string][4]float64{}}
 	tb := &stats.Table{Title: "Figure 7: critical word latency (mean CPU cycles)",
 		Headers: []string{"benchmark", "DDR3", "RD", "RL", "DL"}}
@@ -114,6 +116,7 @@ type Fig8Result struct {
 // fast channel under static placement (paper: ≈67% suite-wide, high for
 // word-0-biased benchmarks, low for pointer chasers).
 func Fig8(r *Runner) (Fig8Result, error) {
+	r.Submit(core.RL(0))
 	out := Fig8Result{PerBench: map[string]float64{}}
 	tb := &stats.Table{Title: "Figure 8: % critical words served by RLDRAM3 (RL, static)",
 		Headers: []string{"benchmark", "served%"}}
@@ -155,6 +158,7 @@ func Fig9(r *Runner) (Fig9Result, error) {
 	or := core.RL(0)
 	or.Placement = core.PlaceOracle
 	or.Name = "RL-OR"
+	r.Submit(core.Baseline(0), core.RL(0), ad, or, core.HomogeneousRLDRAM3(0))
 	var rl, adm, orm, hom []float64
 	for _, b := range r.Opts.Benchmarks {
 		nRL, _, err := r.normalize(core.RL(0), b)

@@ -30,6 +30,7 @@ func CmdBusAblation(r *Runner) (CmdBusResult, error) {
 	private := shared
 	private.PrivateCritCmdBus = true
 	private.Name = "RL-OR-privbus"
+	r.Submit(core.Baseline(0), shared, private)
 	var sh, pr []float64
 	for _, b := range r.Opts.Benchmarks {
 		nS, _, err := r.normalize(shared, b)
@@ -75,6 +76,7 @@ func SubRankAblation(r *Runner) (SubRankResult, error) {
 	wide := core.RL(0)
 	wide.WideCritRank = true
 	wide.Name = "RL-widerank"
+	r.Submit(core.Baseline(0), narrow, wide)
 	var np, wp, ne, we []float64
 	for _, b := range r.Opts.Benchmarks {
 		base, err := r.Baseline(b)

@@ -1,0 +1,87 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"hetsim/internal/core"
+)
+
+// determinismOpts is a small but representative sweep: a streaming and
+// a pointer-chasing benchmark under the baseline, the flagship RL
+// system and the oracle-placement variant.
+func determinismOpts(workers int) Options {
+	return Options{
+		Scale:      core.RunScale{WarmupReads: 200, MeasureReads: 1200, MaxCycles: 30_000_000},
+		Benchmarks: []string{"libquantum", "mcf"},
+		NCores:     4,
+		Seed:       7,
+		Workers:    workers,
+	}
+}
+
+// runDeterminismSweep executes the subset and returns every Results
+// struct keyed by config/bench.
+func runDeterminismSweep(t *testing.T, workers int) map[string]core.Results {
+	t.Helper()
+	r := NewRunner(determinismOpts(workers))
+	or := core.RL(0)
+	or.Placement = core.PlaceOracle
+	or.Name = "RL-OR"
+	cfgs := []core.SystemConfig{core.Baseline(0), core.RL(0), or}
+	r.Submit(cfgs...)
+	out := map[string]core.Results{}
+	for _, cfg := range cfgs {
+		for _, b := range r.Opts.Benchmarks {
+			res, err := r.Run(cfg, b)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", cfg.Name, b, err)
+			}
+			out[cfg.Name+"/"+b] = res
+		}
+	}
+	return out
+}
+
+// TestParallelDeterminism is the engine's centerpiece invariant:
+// results are bit-identical to serial execution at any worker count.
+func TestParallelDeterminism(t *testing.T) {
+	serial := runDeterminismSweep(t, 1)
+	for _, j := range []int{2, 8} {
+		parallel := runDeterminismSweep(t, j)
+		if len(parallel) != len(serial) {
+			t.Fatalf("-j %d produced %d results, serial %d", j, len(parallel), len(serial))
+		}
+		for k, want := range serial {
+			got, ok := parallel[k]
+			if !ok {
+				t.Fatalf("-j %d missing %s", j, k)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("-j %d diverged from serial on %s:\n got %+v\nwant %+v", j, k, got, want)
+			}
+		}
+	}
+}
+
+// TestFixedSeedRepeatRun asserts a repeated serial sweep at the same
+// seed reproduces itself exactly (no hidden run-to-run state), and a
+// different seed actually changes the workload.
+func TestFixedSeedRepeatRun(t *testing.T) {
+	first := runDeterminismSweep(t, 1)
+	second := runDeterminismSweep(t, 1)
+	if !reflect.DeepEqual(first, second) {
+		t.Error("repeat run at a fixed seed diverged")
+	}
+
+	opts := determinismOpts(1)
+	opts.Seed = 8
+	r := NewRunner(opts)
+	res, err := r.Run(core.RL(0), "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(res, first["RL/mcf"]) {
+		t.Error("changing the seed did not change the RL/mcf results")
+	}
+}

@@ -45,6 +45,7 @@ type Fig10Result struct {
 // Fig10 measures system energy normalized to the DDR3 baseline (paper:
 // RL −6%, DL −13%; RL memory energy −15%).
 func Fig10(r *Runner) (Fig10Result, error) {
+	r.Submit(core.Baseline(0), core.RD(0), core.RL(0), core.DL(0))
 	out := Fig10Result{PerBench: map[string][3]float64{}}
 	tb := &stats.Table{Title: "Figure 10: system energy (normalized to DDR3 baseline)",
 		Headers: []string{"benchmark", "RD", "RL", "DL", "RL-mem"}}
@@ -96,6 +97,7 @@ type Fig11Result struct {
 // Fig11 shows energy savings growing with bandwidth utilization
 // (paper: the RLDRAM3/DDR3 power gap shrinks at high utilization).
 func Fig11(r *Runner) (Fig11Result, error) {
+	r.Submit(core.Baseline(0), core.RL(0))
 	var out Fig11Result
 	tb := &stats.Table{Title: "Figure 11: bus utilization vs RL system energy savings",
 		Headers: []string{"benchmark", "util%", "savings%"}}
@@ -154,6 +156,7 @@ func Malladi(r *Runner) (MalladiResult, error) {
 	m := core.RL(0)
 	m.DeepSleepLP = true
 	m.Name = "RL-malladi"
+	r.Submit(core.Baseline(0), core.RL(0), m)
 	var energies, perfs []float64
 	for _, b := range r.Opts.Benchmarks {
 		base, err := r.Baseline(b)

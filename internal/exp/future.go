@@ -20,6 +20,7 @@ type HMCResult struct {
 // serving lines. Stacked links beat DIMM buses on both latency and
 // bandwidth, so this system should extend the RL gains.
 func FutureHMC(r *Runner) (HMCResult, error) {
+	r.Submit(core.Baseline(0), core.RL(0), core.HMCHetero(0))
 	out := HMCResult{PerBench: map[string][2]float64{}}
 	tb := &stats.Table{Title: "§10 future work: heterogeneous HMC critical-data-first",
 		Headers: []string{"benchmark", "RL", "HMC-hetero"}}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"testing"
+
+	"hetsim/internal/core"
+	"hetsim/internal/stats"
+)
+
+// TestGoldenPaperDirections pins the paper's headline directions at
+// TestScale so future performance PRs cannot silently break fidelity:
+//
+//   - the heterogeneous RD and RL systems beat the DDR3 baseline,
+//   - oracle placement is at least as good as static word-0 placement,
+//   - the all-RLDRAM3 homogeneous system is the upper bound of the
+//     placement study (Figure 9),
+//   - critical word latency drops under RD and RL (Figure 7).
+//
+// Directions, not point values, are pinned: scales and tolerances are
+// chosen so legitimate timing-model refinements pass while a broken
+// CWF path fails.
+func TestGoldenPaperDirections(t *testing.T) {
+	benches := []string{"libquantum", "leslie3d", "mcf"}
+	r := NewRunner(Options{
+		Scale:      core.TestScale(),
+		Benchmarks: benches,
+		NCores:     8,
+		Seed:       1,
+	})
+	or := core.RL(0)
+	or.Placement = core.PlaceOracle
+	or.Name = "RL-OR"
+	cfgs := []core.SystemConfig{
+		core.Baseline(0), core.RD(0), core.RL(0), or, core.HomogeneousRLDRAM3(0)}
+	r.Submit(cfgs...)
+
+	norm := map[string][]float64{}
+	critBase, critRD, critRL := []float64{}, []float64{}, []float64{}
+	for _, b := range benches {
+		base, err := r.Baseline(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range cfgs[1:] {
+			n, res, err := r.normalize(cfg, b)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", cfg.Name, b, err)
+			}
+			norm[cfg.Name] = append(norm[cfg.Name], n)
+			switch cfg.Name {
+			case "RD":
+				critRD = append(critRD, res.CritLatency)
+			case "RL":
+				critRL = append(critRL, res.CritLatency)
+			}
+		}
+		critBase = append(critBase, base.CritLatency)
+	}
+
+	meanRD := stats.GeoMean(norm["RD"])
+	meanRL := stats.GeoMean(norm["RL"])
+	meanOR := stats.GeoMean(norm["RL-OR"])
+	meanHom := stats.GeoMean(norm["RLDRAM3-homog"])
+	t.Logf("geomeans: RD %.3f RL %.3f RL-OR %.3f RLDRAM3 %.3f", meanRD, meanRL, meanOR, meanHom)
+
+	// Headline gains: RD and RL beat the DDR3 baseline (paper: +21%,
+	// +12.9%).
+	if meanRD <= 1.0 {
+		t.Errorf("RD geomean %.3f does not beat the DDR3 baseline", meanRD)
+	}
+	if meanRL <= 1.0 {
+		t.Errorf("RL geomean %.3f does not beat the DDR3 baseline", meanRL)
+	}
+	// Oracle placement dominates static word-0 placement (Figure 9;
+	// small tolerance for run-scale noise on word-0-friendly suites).
+	if meanOR < meanRL*0.99 {
+		t.Errorf("oracle placement %.3f below static %.3f", meanOR, meanRL)
+	}
+	// The all-RLDRAM3 system is the upper bound of the study.
+	for name, vals := range norm {
+		if m := stats.GeoMean(vals); m > meanHom*1.01 {
+			t.Errorf("%s geomean %.3f exceeds the all-RLDRAM3 bound %.3f", name, m, meanHom)
+		}
+	}
+	// Critical word latency falls under both heterogeneous systems
+	// (Figure 7: RD −30%, RL −22%).
+	mb, mrd, mrl := stats.ArithMean(critBase), stats.ArithMean(critRD), stats.ArithMean(critRL)
+	t.Logf("crit latency: base %.0f RD %.0f RL %.0f", mb, mrd, mrl)
+	if mrd >= mb {
+		t.Errorf("RD critical latency %.0f not below baseline %.0f", mrd, mb)
+	}
+	if mrl >= mb {
+		t.Errorf("RL critical latency %.0f not below baseline %.0f", mrl, mb)
+	}
+}

@@ -22,6 +22,7 @@ type Fig1aResult struct {
 // Fig1a measures throughput of homogeneous RLDRAM3 and LPDDR2 systems
 // normalized to the DDR3 baseline (paper: +31% and −13%).
 func Fig1a(r *Runner) (Fig1aResult, error) {
+	r.Submit(core.Baseline(0), core.HomogeneousRLDRAM3(0), core.HomogeneousLPDDR2(0))
 	out := Fig1aResult{PerBench: map[string][3]float64{}}
 	tb := &stats.Table{Title: "Figure 1a: homogeneous system throughput (normalized to DDR3)",
 		Headers: []string{"benchmark", "DDR3", "RLDRAM3", "LPDDR2"}}
@@ -68,6 +69,7 @@ type Fig1bResult struct {
 // Fig1b reproduces the queue/core latency breakdown (paper: RLDRAM3
 // total read latency ≈ 43% below DDR3, dominated by queue time).
 func Fig1b(r *Runner) (Fig1bResult, error) {
+	r.Submit(core.Baseline(0), core.HomogeneousRLDRAM3(0), core.HomogeneousLPDDR2(0))
 	out := Fig1bResult{Queue: map[string]float64{}, Core: map[string]float64{}, Xfer: map[string]float64{}}
 	tb := &stats.Table{Title: "Figure 1b: DRAM read latency breakdown (mean CPU cycles)",
 		Headers: []string{"config", "queue", "core", "xfer", "total"}}
@@ -208,6 +210,7 @@ type Fig4Result struct {
 // (paper: word 0 critical in >50% of fetches for 21 of 27 programs,
 // 67% suite-wide).
 func Fig4(r *Runner) (Fig4Result, error) {
+	r.Submit(core.Baseline(0))
 	out := Fig4Result{PerBench: map[string][8]float64{}}
 	tb := &stats.Table{Title: "Figure 4: distribution of critical words (fraction of fetches)",
 		Headers: []string{"benchmark", "w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"}}

@@ -29,6 +29,7 @@ func SchedulerPolicies(r *Runner) (PolicyResult, error) {
 	cp := core.Baseline(0)
 	cp.ClosePageLines = true
 	cp.Name = "DDR3-closepage"
+	r.Submit(core.Baseline(0), fcfs, cp)
 	var fv, cv []float64
 	for _, b := range r.Opts.Benchmarks {
 		nF, _, err := r.normalize(fcfs, b)

@@ -1,16 +1,22 @@
 // Package exp regenerates every table and figure of the paper's
 // evaluation (§3, §6, §7): each Fig/experiment function sweeps the
 // right system configurations over the benchmark suite and formats the
-// same rows/series the paper reports. A Runner memoizes (config,
-// benchmark) pairs so figures that share runs (6/7/8, 9, 10/11) pay for
-// them once.
+// same rows/series the paper reports. A Runner executes (config,
+// benchmark) pairs on a bounded worker pool with singleflight
+// deduplication, so figures that share runs (6/7/8, 9, 10/11) pay for
+// them once — and results are bit-identical to serial execution at any
+// worker count, because every simulated System is self-contained and
+// seeded.
 package exp
 
 import (
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"hetsim/internal/core"
+	"hetsim/internal/runpool"
 	"hetsim/internal/workload"
 )
 
@@ -21,6 +27,9 @@ type Options struct {
 	NCores     int      // 0 = the paper's 8
 	Seed       uint64
 	Log        io.Writer // nil = quiet
+	// Workers bounds parallel simulation runs: 0 = GOMAXPROCS,
+	// 1 = serial. Results are identical at any setting.
+	Workers int
 }
 
 // withDefaults normalizes options.
@@ -37,44 +46,94 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Runner memoizes paired (shared+alone) runs.
+// runKey identifies one (config, benchmark) execution. It is a proper
+// comparable struct — see core.ConfigKey — so configs differing in any
+// behaviour-relevant field can never alias one memo entry.
+type runKey struct {
+	cfg   core.ConfigKey
+	bench string
+}
+
+// Runner executes and memoizes paired (shared+alone) runs. It is safe
+// for concurrent use: figure functions submit whole sweeps up front
+// and collect results in deterministic order.
 type Runner struct {
-	Opts  Options
-	cache map[string]core.Results
+	Opts Options
+	pool *runpool.Pool[runKey, core.Results]
+
+	logMu sync.Mutex
+	done  int
 }
 
 // NewRunner builds a runner.
 func NewRunner(opts Options) *Runner {
-	return &Runner{Opts: opts.withDefaults(), cache: make(map[string]core.Results)}
+	opts = opts.withDefaults()
+	return &Runner{Opts: opts, pool: runpool.New[runKey, core.Results](opts.Workers)}
+}
+
+// Stats reports pool activity: distinct runs submitted/executed and
+// how many submissions were deduplicated onto in-flight or memoized
+// runs.
+func (r *Runner) Stats() runpool.Stats { return r.pool.Stats() }
+
+// Workers reports the effective parallel run bound.
+func (r *Runner) Workers() int { return r.pool.Workers() }
+
+// Start schedules one benchmark under one configuration on the pool
+// and returns its future without waiting. Submitting an already
+// scheduled (or finished) pair joins the existing run.
+func (r *Runner) Start(cfg core.SystemConfig, bench string) *runpool.Task[core.Results] {
+	cfg.NCores = r.Opts.NCores
+	cfg.Seed = r.Opts.Seed
+	key := runKey{cfg.Key(), bench}
+	return r.pool.Submit(key, func() (core.Results, error) {
+		spec, err := workload.Get(bench)
+		if err != nil {
+			return core.Results{}, err
+		}
+		start := time.Now()
+		res, err := core.RunPair(cfg, spec, r.Opts.Scale)
+		if err != nil {
+			return core.Results{}, err
+		}
+		r.progress(cfg.Name, bench, time.Since(start))
+		return res, nil
+	})
+}
+
+// progress emits one per-run completion line (mutex-guarded; run
+// completion order is nondeterministic under parallelism, results are
+// not).
+func (r *Runner) progress(cfgName, bench string, d time.Duration) {
+	if r.Opts.Log == nil {
+		return
+	}
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	r.done++
+	fmt.Fprintf(r.Opts.Log, "  [%3d/%3d] %-12s on %-18s %7.2fs\n",
+		r.done, r.pool.Stats().Submitted, bench, cfgName, d.Seconds())
+}
+
+// Submit enqueues every (config, benchmark) pair of the sweep without
+// waiting: figure functions call it up front so the pool can saturate
+// its workers while the collection loop blocks on results in
+// deterministic order. Errors surface when the pair is collected.
+func (r *Runner) Submit(cfgs ...core.SystemConfig) {
+	for _, cfg := range cfgs {
+		for _, b := range r.Opts.Benchmarks {
+			r.Start(cfg, b)
+		}
+	}
 }
 
 // Run executes (or recalls) one benchmark under one configuration,
 // returning Results with the weighted-speedup Throughput filled in.
 func (r *Runner) Run(cfg core.SystemConfig, bench string) (core.Results, error) {
-	cfg.NCores = r.Opts.NCores
-	cfg.Seed = r.Opts.Seed
-	key := cfg.Name + "|" + bench + "|" + fmt.Sprint(cfg.Placement, cfg.Prefetch, cfg.DeepSleepLP,
-		cfg.CritParityErrorRate, cfg.TrackPerLine, len(cfg.HotPages),
-		cfg.LineMapping, cfg.ROBSize, cfg.PrivateCritCmdBus, cfg.WideCritRank)
-	if res, ok := r.cache[key]; ok {
-		return res, nil
-	}
-	spec, err := workload.Get(bench)
-	if err != nil {
-		return core.Results{}, err
-	}
-	if r.Opts.Log != nil {
-		fmt.Fprintf(r.Opts.Log, "  running %-12s on %-14s ...\n", bench, cfg.Name)
-	}
-	res, err := core.RunPair(cfg, spec, r.Opts.Scale)
-	if err != nil {
-		return core.Results{}, err
-	}
-	r.cache[key] = res
-	return res, nil
+	return r.Start(cfg, bench).Wait()
 }
 
-// Baselines returns the baseline result for a benchmark (memoized).
+// Baseline returns the baseline result for a benchmark (memoized).
 func (r *Runner) Baseline(bench string) (core.Results, error) {
 	return r.Run(core.Baseline(r.Opts.NCores), bench)
 }

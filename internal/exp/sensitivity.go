@@ -24,14 +24,20 @@ func AddressMapping(r *Runner) (MappingResult, error) {
 	tb := &stats.Table{Title: "§5: baseline DDR3 under different address interleavings",
 		Headers: []string{"benchmark", "open-row", "xor-permuted", "bank-first"}}
 	schemes := []core.Mapping{core.MapDefault, core.MapXOR, core.MapBankFirst}
-	sums := make([][]float64, len(schemes))
-	rows := map[string][]float64{}
+	cfgs := make([]core.SystemConfig, len(schemes))
 	for si, m := range schemes {
 		cfg := core.Baseline(0)
 		cfg.LineMapping = m
 		if m != core.MapDefault {
 			cfg.Name = "DDR3-" + m.String()
 		}
+		cfgs[si] = cfg
+	}
+	r.Submit(cfgs...)
+	sums := make([][]float64, len(schemes))
+	rows := map[string][]float64{}
+	for si := range schemes {
+		cfg := cfgs[si]
 		for _, b := range r.Opts.Benchmarks {
 			n, _, err := r.normalize(cfg, b)
 			if err != nil {
@@ -74,13 +80,20 @@ func ROBSensitivity(r *Runner, sizes []int) (ROBResult, error) {
 	out := ROBResult{Sizes: sizes}
 	tb := &stats.Table{Title: "ROB-depth sensitivity of the RL gain",
 		Headers: []string{"robsize", "RL/baseline"}}
-	for _, sz := range sizes {
+	bases := make([]core.SystemConfig, len(sizes))
+	rls := make([]core.SystemConfig, len(sizes))
+	for i, sz := range sizes {
 		base := core.Baseline(0)
 		base.ROBSize = sz
 		base.Name = fmt.Sprintf("DDR3-rob%d", sz)
 		rl := core.RL(0)
 		rl.ROBSize = sz
 		rl.Name = fmt.Sprintf("RL-rob%d", sz)
+		bases[i], rls[i] = base, rl
+	}
+	r.Submit(append(bases, rls...)...)
+	for i, sz := range sizes {
+		base, rl := bases[i], rls[i]
 		var gains []float64
 		for _, b := range r.Opts.Benchmarks {
 			bres, err := r.Run(base, b)

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// validTrace renders a well-formed two-record trace through Writer, so
+// the corpus stays in sync with the real CSV schema.
+func validTrace(t testing.TB) []byte {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := []Record{
+		{Born: 100, Done: 180, CritAt: 120, LineAddr: 0xdeadbeef, MissWord: 0, CritWord: 0},
+		{Born: 200, Done: 310, CritAt: 0, LineAddr: 42, MissWord: 5, CritWord: 0, Store: true, Parity: true},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzParse drives the trace parser with arbitrary input: it must
+// never panic, and any input it accepts must survive a
+// write-and-reparse round trip unchanged.
+func FuzzParse(f *testing.F) {
+	valid := validTrace(f)
+	f.Add(valid)
+	// Truncated: cut mid-record.
+	f.Add(valid[:len(valid)-9])
+	// Truncated: header only.
+	f.Add([]byte("born,done,crit_at,line_addr,miss_word,crit_word,store,prefetch,parity\n"))
+	// Malformed: non-numeric fields.
+	f.Add([]byte("born,done,crit_at,line_addr,miss_word,crit_word,store,prefetch,parity\nx,y,z,w,v,u,t,s,r\n"))
+	// Malformed: wrong column count.
+	f.Add([]byte("born,done,crit_at,line_addr,miss_word,crit_word,store,prefetch,parity\n1,2,3\n"))
+	// Malformed: wrong header.
+	f.Add([]byte("a,b,c\n1,2,3\n"))
+	// Empty input.
+	f.Add([]byte(""))
+	// Negative and overflowing numbers.
+	f.Add([]byte("born,done,crit_at,line_addr,miss_word,crit_word,store,prefetch,parity\n-1,-2,-3,99999999999999999999,8,-8,1,0,1\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Summaries over accepted input must not panic either.
+		_ = Summarize(recs)
+
+		// Round trip: re-encode and re-parse; the records must match.
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) == 0 {
+			return // Writer emits no header for an empty trace
+		}
+		again, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of Writer output failed: %v\n%s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(recs, again) {
+			t.Fatalf("round trip diverged:\n got %+v\nwant %+v", again, recs)
+		}
+	})
+}
