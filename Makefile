@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz bench verify
+.PHONY: build vet test race fuzz bench bench-json profile verify
 
 build:
 	$(GO) build ./...
@@ -30,5 +30,21 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Kernel benchmark baseline as committed JSON (see DESIGN.md
+# "Performance"). Regenerate after kernel changes and commit the diff.
+bench-json:
+	{ $(GO) test -bench 'BenchmarkKernel' -benchmem -run '^$$' ./internal/sim/ && \
+	  $(GO) test -bench 'BenchmarkControllerReadRoundtrip' -benchmem -run '^$$' ./internal/memctrl/ && \
+	  $(GO) test -bench 'BenchmarkHierarchyReadPath' -benchmem -run '^$$' ./internal/core/ && \
+	  $(GO) test -bench 'BenchmarkSimulatorSpeed' -benchmem -benchtime 5x -run '^$$' . ; } \
+	| $(GO) run ./cmd/benchjson > BENCH_kernel.json
+
+# CPU + allocation profiles of a representative experiment run.
+# Inspect with: go tool pprof cpu.pprof / go tool pprof mem.pprof
+profile:
+	$(GO) run ./cmd/experiments -only fig6 -benchmarks libquantum,mcf -scale test \
+		-cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof"
 
 verify: build vet test race

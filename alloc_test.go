@@ -1,0 +1,39 @@
+package hetsim_test
+
+import (
+	"testing"
+
+	"hetsim"
+)
+
+// allocBudget is the allocation ceiling for the reference 5,000-read
+// libquantum run, set at ~2x the measured post-optimization baseline
+// (~3.0k objects, dominated by one-time system construction: cache
+// arrays, channel state, worker structures). The pre-optimization
+// kernel allocated ~452k objects on the same run; a regression that
+// reintroduces per-event or per-request allocation blows through this
+// ceiling immediately.
+const allocBudget = 6000
+
+// TestAllocationBudget pins the simulator's total allocation count for
+// a fixed run. It guards the zero-allocation event kernel: monomorphic
+// heap, pooled requests/MSHR entries, and preallocated handlers.
+func TestAllocationBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system run; skipped in -short mode")
+	}
+	avg := testing.AllocsPerRun(1, func() {
+		sys, err := hetsim.NewSystem(hetsim.RL(8), "libquantum")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sys.Run(hetsim.Scale{WarmupReads: 500, MeasureReads: 5000, MaxCycles: 50_000_000})
+		if res.DemandReads < 5000 {
+			t.Fatalf("run too short: %d reads", res.DemandReads)
+		}
+	})
+	if avg > allocBudget {
+		t.Fatalf("run allocated %.0f objects, budget %d (~2x baseline); "+
+			"the event kernel has regressed", avg, allocBudget)
+	}
+}

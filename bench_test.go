@@ -312,15 +312,24 @@ func BenchmarkFutureHMC(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorSpeed measures raw simulation throughput (DRAM
-// reads simulated per second) for profiling the simulator itself.
+// BenchmarkSimulatorSpeed measures raw simulation throughput for
+// profiling the simulator itself: reads/sec is the headline metric, and
+// -benchmem (implied via ReportAllocs) tracks the kernel's allocation
+// behaviour. See DESIGN.md "Performance" for recorded baselines.
 func BenchmarkSimulatorSpeed(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-system benchmark; skipped in -short mode")
+	}
+	b.ReportAllocs()
+	var reads uint64
 	for i := 0; i < b.N; i++ {
 		sys, err := hetsim.NewSystem(hetsim.RL(8), "libquantum")
 		if err != nil {
 			b.Fatal(err)
 		}
 		res := sys.Run(hetsim.Scale{WarmupReads: 500, MeasureReads: 5000, MaxCycles: 50_000_000})
-		b.ReportMetric(float64(res.DemandReads), "reads")
+		reads += res.DemandReads
 	}
+	b.ReportMetric(float64(reads)/float64(b.N), "reads")
+	b.ReportMetric(float64(reads)/b.Elapsed().Seconds(), "reads/sec")
 }

@@ -1,0 +1,79 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a stable JSON document, so benchmark baselines can be committed and
+// diffed (see `make bench-json`, which writes BENCH_kernel.json).
+//
+// Usage:
+//
+//	go test -bench Kernel -benchmem ./... | benchjson > BENCH_kernel.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. Metrics maps unit -> value
+// (e.g. "ns/op", "allocs/op", "reads/sec"); encoding/json sorts map
+// keys, so the output is deterministic.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Doc is the output document.
+type Doc struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one `BenchmarkX-N  iters  v unit  v unit ...` line;
+// ok is false for any other line.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}
+
+// run converts benchmark text on r into JSON on w.
+func run(r io.Reader, w io.Writer) error {
+	doc := Doc{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

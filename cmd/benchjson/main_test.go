@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: hetsim/internal/sim
+cpu: Some CPU
+BenchmarkKernelScheduleEvent-8   	34567890	        33.45 ns/op	       0 B/op	       0 allocs/op
+BenchmarkKernelRunUntil-8        	  123456	       101.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	hetsim/internal/sim	2.345s
+BenchmarkSimulatorSpeed 	       5	  63036685 ns/op	      5002 reads	   79355 reads/sec	 2303115 B/op	    2958 allocs/op
+`
+
+func TestRunParsesBenchLines(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkKernelScheduleEvent-8" || b.Iters != 34567890 {
+		t.Fatalf("first benchmark = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 33.45 || b.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+	if doc.Benchmarks[2].Metrics["reads/sec"] != 79355 {
+		t.Fatalf("custom metric lost: %v", doc.Benchmarks[2].Metrics)
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader(sampleOutput), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("output not deterministic")
+	}
+}
+
+func TestRunIgnoresNoise(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok x 1s\nBenchmarkBad notanint\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("noise parsed as benchmarks: %+v", doc.Benchmarks)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"hetsim"
 	"hetsim/internal/exp"
+	"hetsim/internal/profiling"
 )
 
 func main() {
@@ -30,8 +31,17 @@ func main() {
 	measure := flag.Uint64("measure", 0, "override measured DRAM reads per run (0 = scale default)")
 	workers := flag.Int("j", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial; results are identical)")
 	verbose := flag.Bool("v", false, "log each run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 	start := time.Now()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	var scale hetsim.Scale
 	switch *scaleName {

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"hetsim"
+	"hetsim/internal/profiling"
 	"hetsim/internal/runpool"
 )
 
@@ -32,7 +33,15 @@ func main() {
 	out := flag.String("o", "", "output CSV path (default stdout)")
 	pair := flag.Bool("pair", false, "run the stand-alone reference too (fills throughput columns)")
 	workers := flag.Int("j", 0, "parallel grid points (0 = GOMAXPROCS, 1 = serial; output is identical)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	var scale hetsim.Scale
 	switch *scaleName {

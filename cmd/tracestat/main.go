@@ -9,53 +9,68 @@
 package main
 
 import (
-	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"hetsim/internal/trace"
 )
 
-func main() {
-	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: tracestat <trace.csv>")
-		flag.PrintDefaults()
+// exit codes: 0 success, 1 runtime error (unreadable/malformed trace),
+// 2 usage error.
+const (
+	exitOK    = 0
+	exitError = 1
+	exitUsage = 2
+)
+
+// run executes tracestat for args (excluding the program name), writing
+// the report to stdout and diagnostics to stderr; it returns the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: tracestat <trace.csv>")
+		return exitUsage
 	}
-	flag.Parse()
-	if flag.NArg() != 1 {
-		flag.Usage()
-		os.Exit(2)
-	}
-	f, err := os.Open(flag.Arg(0))
+	f, err := os.Open(args[0])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracestat:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tracestat:", err)
+		return exitError
 	}
 	defer f.Close()
 
 	recs, err := trace.Read(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracestat:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "tracestat:", err)
+		return exitError
 	}
-	s := trace.Summarize(recs)
-	fmt.Printf("records            %d\n", s.Fills)
-	fmt.Printf("  demand           %d\n", s.Demand)
-	fmt.Printf("  store fills      %d\n", s.Stores)
-	fmt.Printf("  prefetches       %d\n", s.Prefetches)
+	report(stdout, trace.Summarize(recs))
+	return exitOK
+}
+
+// report formats a trace summary.
+func report(w io.Writer, s trace.Summary) {
+	fmt.Fprintf(w, "records            %d\n", s.Fills)
+	fmt.Fprintf(w, "  demand           %d\n", s.Demand)
+	fmt.Fprintf(w, "  store fills      %d\n", s.Stores)
+	fmt.Fprintf(w, "  prefetches       %d\n", s.Prefetches)
 	if s.Demand > 0 {
-		fmt.Printf("served fast        %d (%.1f%%)\n", s.ServedFast,
+		fmt.Fprintf(w, "served fast        %d (%.1f%%)\n", s.ServedFast,
 			100*float64(s.ServedFast)/float64(s.Demand))
 	}
-	fmt.Printf("parity held        %d\n", s.ParityHeld)
-	fmt.Printf("mean fill latency  %.1f cycles\n", s.MeanFillLat)
-	fmt.Printf("mean crit latency  %.1f cycles\n", s.MeanCritLat)
-	fmt.Println("critical word distribution (demand fills):")
-	for w, c := range s.WordHistogram {
+	fmt.Fprintf(w, "parity held        %d\n", s.ParityHeld)
+	fmt.Fprintf(w, "mean fill latency  %.1f cycles\n", s.MeanFillLat)
+	fmt.Fprintf(w, "mean crit latency  %.1f cycles\n", s.MeanCritLat)
+	fmt.Fprintln(w, "critical word distribution (demand fills):")
+	for w2, c := range s.WordHistogram {
 		frac := 0.0
 		if s.Demand > 0 {
 			frac = 100 * float64(c) / float64(s.Demand)
 		}
-		fmt.Printf("  w%d %7d  %5.1f%%\n", w, c, frac)
+		fmt.Fprintf(w, "  w%d %7d  %5.1f%%\n", w2, c, frac)
 	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validTrace is a three-record trace: one fast-served demand fill, one
+// slow-path demand fill, and one prefetch.
+const validTrace = `born,done,crit_at,line_addr,miss_word,crit_word,store,prefetch,parity
+100,300,150,64,0,0,0,0,0
+400,700,450,65,3,0,0,0,0
+800,1000,850,66,0,0,0,1,0
+`
+
+// goldenReport is the exact expected output for validTrace. Keeping it
+// literal pins the report format CLI consumers parse.
+const goldenReport = `records            3
+  demand           2
+  store fills      0
+  prefetches       1
+served fast        1 (50.0%)
+parity held        0
+mean fill latency  233.3 cycles
+mean crit latency  175.0 cycles
+critical word distribution (demand fills):
+  w0       1   50.0%
+  w1       0    0.0%
+  w2       0    0.0%
+  w3       1   50.0%
+  w4       0    0.0%
+  w5       0    0.0%
+  w6       0    0.0%
+  w7       0    0.0%
+`
+
+// writeTemp writes content to a file under t.TempDir.
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunGoldenOutput(t *testing.T) {
+	path := writeTemp(t, "trace.csv", validTrace)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != exitOK {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	if got := stdout.String(); got != goldenReport {
+		t.Errorf("report mismatch:\n--- got ---\n%s--- want ---\n%s", got, goldenReport)
+	}
+}
+
+func TestRunMalformedTrace(t *testing.T) {
+	cases := map[string]string{
+		"bad header":     "nope,done\n1,2\n",
+		"non-numeric":    "born,done,crit_at,line_addr,miss_word,crit_word,store,prefetch,parity\nxx,2,3,4,5,6,0,0,0\n",
+		"missing fields": "born,done,crit_at,line_addr,miss_word,crit_word,store,prefetch,parity\n1,2,3\n",
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := writeTemp(t, "bad.csv", content)
+			var stdout, stderr bytes.Buffer
+			if code := run([]string{path}, &stdout, &stderr); code != exitError {
+				t.Fatalf("exit = %d, want %d", code, exitError)
+			}
+			if !strings.Contains(stderr.String(), "tracestat:") {
+				t.Errorf("stderr lacks diagnostic: %q", stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{filepath.Join(t.TempDir(), "absent.csv")}, &stdout, &stderr); code != exitError {
+		t.Fatalf("exit = %d, want %d", code, exitError)
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != exitUsage {
+		t.Fatalf("exit = %d, want %d", code, exitUsage)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Errorf("stderr lacks usage: %q", stderr.String())
+	}
+}

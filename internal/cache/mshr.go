@@ -50,6 +50,12 @@ type MSHR struct {
 	entries map[uint64]*Entry
 	cap     int
 
+	// free is a deterministic LIFO freelist of released entries: fills
+	// in steady state reuse entries (and their waiter slices) instead of
+	// allocating. A plain slice, not sync.Pool, keeps reuse order — and
+	// therefore runs — bit-for-bit reproducible.
+	free []*Entry
+
 	// PeakOccupancy tracks the high-water mark for stats.
 	PeakOccupancy int
 	Merges        uint64
@@ -61,7 +67,8 @@ func NewMSHR(capacity int) *MSHR {
 	if capacity <= 0 {
 		panic("cache: MSHR capacity must be positive")
 	}
-	return &MSHR{entries: make(map[uint64]*Entry, capacity), cap: capacity}
+	return &MSHR{entries: make(map[uint64]*Entry, capacity), cap: capacity,
+		free: make([]*Entry, 0, capacity)}
 }
 
 // Lookup finds the in-flight entry for a line, if any.
@@ -86,8 +93,17 @@ func (m *MSHR) Alloc(lineAddr uint64, store, prefetch bool, missWord, critWord i
 	if _, dup := m.entries[lineAddr]; dup {
 		panic("cache: duplicate MSHR entry")
 	}
-	e := &Entry{LineAddr: lineAddr, Store: store, Prefetch: prefetch,
-		MissWord: missWord, CritWord: critWord}
+	var e *Entry
+	if n := len(m.free); n > 0 {
+		e = m.free[n-1]
+		m.free = m.free[:n-1]
+		waiters := e.Waiters[:0] // keep the waiter slice's capacity
+		*e = Entry{Waiters: waiters}
+	} else {
+		e = &Entry{}
+	}
+	e.LineAddr, e.Store, e.Prefetch = lineAddr, store, prefetch
+	e.MissWord, e.CritWord = missWord, critWord
 	m.entries[lineAddr] = e
 	m.Allocs++
 	if len(m.entries) > m.PeakOccupancy {
@@ -102,10 +118,13 @@ func (m *MSHR) Merge(e *Entry, w Waiter) {
 	m.Merges++
 }
 
-// Free releases a completed entry.
+// Free releases a completed entry back to the freelist. The caller must
+// not retain the entry: it will be reused by a future Alloc.
 func (m *MSHR) Free(lineAddr uint64) {
-	if _, ok := m.entries[lineAddr]; !ok {
+	e, ok := m.entries[lineAddr]
+	if !ok {
 		panic("cache: freeing unknown MSHR entry")
 	}
 	delete(m.entries, lineAddr)
+	m.free = append(m.free, e)
 }

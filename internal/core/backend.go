@@ -1,20 +1,25 @@
 package core
 
 import (
+	"hetsim/internal/cache"
 	"hetsim/internal/dram"
 	"hetsim/internal/memctrl"
 	"hetsim/internal/sim"
 )
 
-// FillCallbacks are the delivery events of one line fill. OnCrit fires
-// when the word stored on the fast path arrives; OnReqWord fires when
-// the requested word arrives via the line part (burst-reordered to the
-// first beat — meaningful when the requested word is not the placed
-// one); OnLine fires when the whole line (and its ECC) has arrived.
-type FillCallbacks struct {
-	OnCrit    func()
-	OnReqWord func()
-	OnLine    func()
+// fillSink receives the delivery events of line fills. onCrit fires when
+// the word stored on the fast path arrives; onReqWord fires when the
+// requested word arrives via the line part (burst-reordered to the first
+// beat — meaningful when the requested word is not the placed one);
+// onLine fires when the whole line (and its ECC) has arrived.
+//
+// The Hierarchy is the production sink; passing the in-flight MSHR entry
+// as the argument (instead of capturing it in per-fill closures) keeps
+// fill issue allocation-free.
+type fillSink interface {
+	onCrit(e *cache.Entry)
+	onReqWord(e *cache.Entry)
+	onLine(e *cache.Entry)
 }
 
 // ChannelGroup exposes one set of like channels for stats and energy.
@@ -28,14 +33,18 @@ type ChannelGroup struct {
 }
 
 // backend is a main-memory organization: it turns line fills and
-// write-backs into DRAM transactions.
+// write-backs into DRAM transactions. Delivery events go to the sink
+// registered with setSink (exactly one per backend).
 type backend interface {
+	setSink(s fillSink)
 	CanAcceptFill(lineAddr uint64) bool
 	// CanAcceptPrefetch additionally requires headroom in the target
 	// read queue: prefetches are dropped rather than allowed to build
 	// queue pressure that would delay demand traffic.
 	CanAcceptPrefetch(lineAddr uint64) bool
-	IssueFill(lineAddr uint64, prefetch bool, cb FillCallbacks) bool
+	// IssueFill launches the DRAM transactions for MSHR entry e (keyed
+	// by e.LineAddr; e.Prefetch selects prefetch priority).
+	IssueFill(e *cache.Entry) bool
 	CanAcceptWriteback(lineAddr uint64) bool
 	IssueWriteback(lineAddr uint64) bool
 	Groups() []ChannelGroup
@@ -55,6 +64,9 @@ func firstBeat(r *memctrl.Request, ch *dram.Channel) sim.Cycle {
 	return b
 }
 
+// entryOf recovers the MSHR entry a fill request is serving.
+func entryOf(r *memctrl.Request) *cache.Entry { return r.Ctx.(*cache.Entry) }
+
 // lineBackend is the conventional organization (Figure 5a): full lines
 // on homogeneous channels, with conventional burst-reorder CWF. route
 // maps a line address to (channel, channel-local line address).
@@ -64,18 +76,58 @@ type lineBackend struct {
 	chans []*dram.Channel
 	route func(lineAddr uint64) (int, uint64)
 	group []ChannelGroup
+
+	sink fillSink
+	pool memctrl.Pool
+
+	// Preallocated request hooks and event handlers: fills reuse these
+	// func/handler values instead of allocating closures per request.
+	fillIssuedFn func(*memctrl.Request)
+	fillDoneFn   func(*memctrl.Request)
+	critH        lineCritDispatch
+	reqWordH     lineReqWordDispatch
+}
+
+// lineCritDispatch delivers the burst-reordered critical beat.
+type lineCritDispatch struct{ b *lineBackend }
+
+func (d lineCritDispatch) OnEvent(arg any) {
+	d.b.sink.onCrit(entryOf(arg.(*memctrl.Request)))
+}
+
+// lineReqWordDispatch delivers the requested word on the same beat.
+type lineReqWordDispatch struct{ b *lineBackend }
+
+func (d lineReqWordDispatch) OnEvent(arg any) {
+	d.b.sink.onReqWord(entryOf(arg.(*memctrl.Request)))
+}
+
+// newLineBackend wires the shared hooks of a lineBackend.
+func newLineBackend(eng *sim.Engine) *lineBackend {
+	b := &lineBackend{eng: eng}
+	b.fillIssuedFn = b.fillIssued
+	b.fillDoneFn = b.fillDone
+	b.critH = lineCritDispatch{b}
+	b.reqWordH = lineReqWordDispatch{b}
+	return b
+}
+
+// addCtrl registers a controller and hooks it to the shared pool.
+func (b *lineBackend) addCtrl(ch *dram.Channel, ctrl *memctrl.Controller) {
+	ctrl.Pool = &b.pool
+	b.chans = append(b.chans, ch)
+	b.ctrls = append(b.ctrls, ctrl)
 }
 
 // newHomogeneous builds nCh channels of cfg with controller defaults
 // for its kind (and the given sleep variant).
 func newHomogeneous(eng *sim.Engine, cfg dram.Config, nCh int, deepSleep bool) *lineBackend {
-	b := &lineBackend{eng: eng}
+	b := newLineBackend(eng)
 	for i := 0; i < nCh; i++ {
 		ch := dram.NewChannel(cfg, 1, nil)
 		mc := memctrl.DefaultConfig(cfg.Kind)
 		mc.DeepSleep = deepSleep
-		b.chans = append(b.chans, ch)
-		b.ctrls = append(b.ctrls, memctrl.New(eng, ch, mc))
+		b.addCtrl(ch, memctrl.New(eng, ch, mc))
 	}
 	b.route = func(la uint64) (int, uint64) {
 		return int(la % uint64(nCh)), la / uint64(nCh)
@@ -84,6 +136,8 @@ func newHomogeneous(eng *sim.Engine, cfg dram.Config, nCh int, deepSleep bool) *
 		DevicesPerAccess: cfg.Geom.DevicesPerRank, DevicesPerRank: cfg.Geom.DevicesPerRank}}
 	return b
 }
+
+func (b *lineBackend) setSink(s fillSink) { b.sink = s }
 
 func (b *lineBackend) CanAcceptFill(lineAddr uint64) bool {
 	ch, _ := b.route(lineAddr)
@@ -96,19 +150,33 @@ func (b *lineBackend) CanAcceptPrefetch(lineAddr uint64) bool {
 	return float64(rq) < prefetchHeadroom*float64(b.ctrls[ch].Cfg.ReadQueueSize)
 }
 
-func (b *lineBackend) IssueFill(lineAddr uint64, prefetch bool, cb FillCallbacks) bool {
-	chIdx, local := b.route(lineAddr)
-	ch := b.chans[chIdx]
-	req := &memctrl.Request{Addr: local, Prefetch: prefetch}
-	req.OnIssue = func(r *memctrl.Request) {
-		beat := firstBeat(r, ch)
-		b.eng.ScheduleAt(beat, cb.OnCrit)
-		if cb.OnReqWord != nil {
-			b.eng.ScheduleAt(beat, cb.OnReqWord)
-		}
+// fillIssued (via Request.OnIssue) schedules critical-beat delivery: the
+// burst is reordered so the requested word leads.
+func (b *lineBackend) fillIssued(r *memctrl.Request) {
+	beat := firstBeat(r, b.chans[r.Tag])
+	b.eng.ScheduleEventAt(beat, b.critH, r)
+	b.eng.ScheduleEventAt(beat, b.reqWordH, r)
+}
+
+// fillDone (via Request.OnComplete) delivers the full line.
+func (b *lineBackend) fillDone(r *memctrl.Request) {
+	b.sink.onLine(entryOf(r))
+}
+
+func (b *lineBackend) IssueFill(e *cache.Entry) bool {
+	chIdx, local := b.route(e.LineAddr)
+	req := b.pool.Get()
+	req.Addr = local
+	req.Prefetch = e.Prefetch
+	req.Ctx = e
+	req.Tag = chIdx
+	req.OnIssue = b.fillIssuedFn
+	req.OnComplete = b.fillDoneFn
+	if !b.ctrls[chIdx].EnqueueRead(req) {
+		b.pool.Put(req)
+		return false
 	}
-	req.OnComplete = func(*memctrl.Request) { cb.OnLine() }
-	return b.ctrls[chIdx].EnqueueRead(req)
+	return true
 }
 
 func (b *lineBackend) CanAcceptWriteback(lineAddr uint64) bool {
@@ -118,7 +186,13 @@ func (b *lineBackend) CanAcceptWriteback(lineAddr uint64) bool {
 
 func (b *lineBackend) IssueWriteback(lineAddr uint64) bool {
 	ch, local := b.route(lineAddr)
-	return b.ctrls[ch].EnqueueWrite(&memctrl.Request{Addr: local})
+	req := b.pool.Get()
+	req.Addr = local
+	if !b.ctrls[ch].EnqueueWrite(req) {
+		b.pool.Put(req)
+		return false
+	}
+	return true
 }
 
 func (b *lineBackend) Groups() []ChannelGroup { return b.group }
@@ -135,6 +209,21 @@ type cwfBackend struct {
 	sharedCmd *dram.CmdBus
 	wideRank  bool
 	groups    []ChannelGroup
+
+	sink fillSink
+	pool memctrl.Pool
+
+	critDoneFn   func(*memctrl.Request)
+	lineIssuedFn func(*memctrl.Request)
+	lineDoneFn   func(*memctrl.Request)
+	reqWordH     cwfReqWordDispatch
+}
+
+// cwfReqWordDispatch delivers the line part's leading (requested) word.
+type cwfReqWordDispatch struct{ b *cwfBackend }
+
+func (d cwfReqWordDispatch) OnEvent(arg any) {
+	d.b.sink.onReqWord(entryOf(arg.(*memctrl.Request)))
 }
 
 // cwfOptions tune the critical-channel organization (§4.2.4 ablations).
@@ -146,6 +235,10 @@ type cwfOptions struct {
 
 func newCWF(eng *sim.Engine, lineCfg, critCfg dram.Config, opt cwfOptions) *cwfBackend {
 	b := &cwfBackend{eng: eng, sharedCmd: &dram.CmdBus{}, wideRank: opt.wideRank}
+	b.critDoneFn = b.critDone
+	b.lineIssuedFn = b.lineIssued
+	b.lineDoneFn = b.lineDone
+	b.reqWordH = cwfReqWordDispatch{b}
 	critSubs := Channels
 	devsPerAccess := 1
 	devsPerRank := 1
@@ -162,8 +255,10 @@ func newCWF(eng *sim.Engine, lineCfg, critCfg dram.Config, opt cwfOptions) *cwfB
 		lc := dram.NewChannel(lineCfg, 1, nil)
 		lcc := memctrl.DefaultConfig(lineCfg.Kind)
 		lcc.DeepSleep = opt.deepSleep
+		ctrl := memctrl.New(eng, lc, lcc)
+		ctrl.Pool = &b.pool
 		b.lineChan = append(b.lineChan, lc)
-		b.lineCtrl = append(b.lineCtrl, memctrl.New(eng, lc, lcc))
+		b.lineCtrl = append(b.lineCtrl, ctrl)
 	}
 	for i := 0; i < critSubs; i++ {
 		bus := b.sharedCmd
@@ -178,8 +273,10 @@ func newCWF(eng *sim.Engine, lineCfg, critCfg dram.Config, opt cwfOptions) *cwfB
 		ccc.WriteQueueSize = 48 / critSubs
 		ccc.HighWatermark = 32 / critSubs
 		ccc.LowWatermark = 16 / critSubs
+		ctrl := memctrl.New(eng, cc, ccc)
+		ctrl.Pool = &b.pool
 		b.critChan = append(b.critChan, cc)
-		b.critCtrl = append(b.critCtrl, memctrl.New(eng, cc, ccc))
+		b.critCtrl = append(b.critCtrl, ctrl)
 	}
 	b.groups = []ChannelGroup{
 		{Kind: lineCfg.Kind, Cfg: lineCfg, Chans: b.lineChan, Ctrls: b.lineCtrl,
@@ -189,6 +286,8 @@ func newCWF(eng *sim.Engine, lineCfg, critCfg dram.Config, opt cwfOptions) *cwfB
 	}
 	return b
 }
+
+func (b *cwfBackend) setSink(s fillSink) { b.sink = s }
 
 // split routes a line address to its line channel, critical sub-channel
 // and local addresses.
@@ -218,31 +317,49 @@ func (b *cwfBackend) CanAcceptPrefetch(lineAddr uint64) bool {
 		float64(crq) < prefetchHeadroom*float64(b.critCtrl[cs].Cfg.ReadQueueSize)
 }
 
-func (b *cwfBackend) IssueFill(lineAddr uint64, prefetch bool, cb FillCallbacks) bool {
-	chIdx, local := b.split(lineAddr)
+// critDone (via Request.OnComplete) delivers the fast-path word: the
+// whole 8-byte word (plus parity) has arrived over the x9 sub-channel.
+func (b *cwfBackend) critDone(r *memctrl.Request) {
+	b.sink.onCrit(entryOf(r))
+}
+
+// lineIssued (via Request.OnIssue) schedules requested-word delivery on
+// the line part's first (reordered) beat.
+func (b *cwfBackend) lineIssued(r *memctrl.Request) {
+	b.eng.ScheduleEventAt(firstBeat(r, b.lineChan[r.Tag]), b.reqWordH, r)
+}
+
+// lineDone (via Request.OnComplete) delivers the full line.
+func (b *cwfBackend) lineDone(r *memctrl.Request) {
+	b.sink.onLine(entryOf(r))
+}
+
+func (b *cwfBackend) IssueFill(e *cache.Entry) bool {
+	chIdx, local := b.split(e.LineAddr)
 	cs := b.critSub(chIdx)
 	critLocal := local
 	if b.wideRank {
-		critLocal = lineAddr // single sub-channel covers all lines
+		critLocal = e.LineAddr // single sub-channel covers all lines
 	}
 	if !b.lineCtrl[chIdx].CanAcceptRead() || !b.critCtrl[cs].CanAcceptRead() {
 		return false
 	}
-	// Critical-word request: the whole 8-byte word (plus parity)
-	// arrives over the x9 sub-channel; deliverable at burst end.
-	critReq := &memctrl.Request{Addr: critLocal, Prefetch: prefetch}
-	critReq.OnComplete = func(*memctrl.Request) { cb.OnCrit() }
+	critReq := b.pool.Get()
+	critReq.Addr = critLocal
+	critReq.Prefetch = e.Prefetch
+	critReq.Ctx = e
+	critReq.OnComplete = b.critDoneFn
 	if !b.critCtrl[cs].EnqueueRead(critReq) {
+		b.pool.Put(critReq)
 		return false
 	}
-	lineCh := b.lineChan[chIdx]
-	lineReq := &memctrl.Request{Addr: local, Prefetch: prefetch}
-	lineReq.OnIssue = func(r *memctrl.Request) {
-		if cb.OnReqWord != nil {
-			b.eng.ScheduleAt(firstBeat(r, lineCh), cb.OnReqWord)
-		}
-	}
-	lineReq.OnComplete = func(*memctrl.Request) { cb.OnLine() }
+	lineReq := b.pool.Get()
+	lineReq.Addr = local
+	lineReq.Prefetch = e.Prefetch
+	lineReq.Ctx = e
+	lineReq.Tag = chIdx
+	lineReq.OnIssue = b.lineIssuedFn
+	lineReq.OnComplete = b.lineDoneFn
 	if !b.lineCtrl[chIdx].EnqueueRead(lineReq) {
 		// CanAcceptRead was checked above; a failure here is a bug.
 		panic("core: line enqueue failed after capacity check")
@@ -265,10 +382,15 @@ func (b *cwfBackend) IssueWriteback(lineAddr uint64) bool {
 	if !b.CanAcceptWriteback(lineAddr) {
 		return false
 	}
-	if !b.critCtrl[cs].EnqueueWrite(&memctrl.Request{Addr: critLocal}) {
+	critReq := b.pool.Get()
+	critReq.Addr = critLocal
+	if !b.critCtrl[cs].EnqueueWrite(critReq) {
+		b.pool.Put(critReq)
 		return false
 	}
-	if !b.lineCtrl[ch].EnqueueWrite(&memctrl.Request{Addr: local}) {
+	lineReq := b.pool.Get()
+	lineReq.Addr = local
+	if !b.lineCtrl[ch].EnqueueWrite(lineReq) {
 		panic("core: line write enqueue failed after capacity check")
 	}
 	return true
@@ -280,14 +402,13 @@ func (b *cwfBackend) Groups() []ChannelGroup { return b.groups }
 // full-line RLDRAM3 channel holding the profiled hot pages; channels
 // 1..3 are LPDDR2. Lines of a page stay on one channel.
 func newPagePlaced(eng *sim.Engine, hot map[uint64]bool, deepSleep bool) *lineBackend {
-	b := &lineBackend{eng: eng}
+	b := newLineBackend(eng)
 	kinds := []dram.Config{dram.RLDRAM3Config(), dram.LPDDR2Config(), dram.LPDDR2Config(), dram.LPDDR2Config()}
 	for _, cfg := range kinds {
 		ch := dram.NewChannel(cfg, 1, nil)
 		mc := memctrl.DefaultConfig(cfg.Kind)
 		mc.DeepSleep = deepSleep
-		b.chans = append(b.chans, ch)
-		b.ctrls = append(b.ctrls, memctrl.New(eng, ch, mc))
+		b.addCtrl(ch, memctrl.New(eng, ch, mc))
 	}
 	const linesPerPage = 64
 	b.route = func(la uint64) (int, uint64) {

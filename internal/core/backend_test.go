@@ -3,9 +3,43 @@ package core
 import (
 	"testing"
 
+	"hetsim/internal/cache"
 	"hetsim/internal/dram"
 	"hetsim/internal/sim"
 )
+
+// testSink is a configurable fillSink for driving backends directly.
+type testSink struct {
+	onCritF func(*cache.Entry)
+	onReqF  func(*cache.Entry)
+	onLineF func(*cache.Entry)
+}
+
+func (s *testSink) onCrit(e *cache.Entry) {
+	if s.onCritF != nil {
+		s.onCritF(e)
+	}
+}
+
+func (s *testSink) onReqWord(e *cache.Entry) {
+	if s.onReqF != nil {
+		s.onReqF(e)
+	}
+}
+
+func (s *testSink) onLine(e *cache.Entry) {
+	if s.onLineF != nil {
+		s.onLineF(e)
+	}
+}
+
+// fill issues a fill for lineAddr through b, failing the test on reject.
+func fill(t *testing.T, b backend, lineAddr uint64) {
+	t.Helper()
+	if !b.IssueFill(&cache.Entry{LineAddr: lineAddr}) {
+		t.Fatalf("fill of line %d rejected", lineAddr)
+	}
+}
 
 func TestLineBackendRoutesRoundRobin(t *testing.T) {
 	eng := &sim.Engine{}
@@ -27,14 +61,11 @@ func TestLineBackendFillDeliversCritBeforeLine(t *testing.T) {
 	eng := &sim.Engine{}
 	b := newHomogeneous(eng, dram.DDR3Config(), Channels, false)
 	var critAt, lineAt sim.Cycle = -1, -1
-	ok := b.IssueFill(5, false, FillCallbacks{
-		OnCrit:    func() { critAt = eng.Now() },
-		OnReqWord: func() {},
-		OnLine:    func() { lineAt = eng.Now() },
+	b.setSink(&testSink{
+		onCritF: func(*cache.Entry) { critAt = eng.Now() },
+		onLineF: func(*cache.Entry) { lineAt = eng.Now() },
 	})
-	if !ok {
-		t.Fatal("fill rejected")
-	}
+	fill(t, b, 5)
 	eng.RunUntil(100000)
 	if critAt < 0 || lineAt < 0 {
 		t.Fatal("callbacks never fired")
@@ -54,14 +85,11 @@ func TestCWFBackendSplitDelivery(t *testing.T) {
 	eng := &sim.Engine{}
 	b := newCWF(eng, dram.LPDDR2Config(), dram.RLDRAM3WordConfig(), cwfOptions{})
 	var critAt, lineAt sim.Cycle = -1, -1
-	ok := b.IssueFill(7, false, FillCallbacks{
-		OnCrit:    func() { critAt = eng.Now() },
-		OnReqWord: func() {},
-		OnLine:    func() { lineAt = eng.Now() },
+	b.setSink(&testSink{
+		onCritF: func(*cache.Entry) { critAt = eng.Now() },
+		onLineF: func(*cache.Entry) { lineAt = eng.Now() },
 	})
-	if !ok {
-		t.Fatal("fill rejected")
-	}
+	fill(t, b, 7)
 	eng.RunUntil(100000)
 	if critAt < 0 || lineAt < 0 {
 		t.Fatal("callbacks never fired")
@@ -76,12 +104,11 @@ func TestCWFBackendSplitDelivery(t *testing.T) {
 func TestCWFBackendNeedsBothQueues(t *testing.T) {
 	eng := &sim.Engine{}
 	b := newCWF(eng, dram.LPDDR2Config(), dram.RLDRAM3WordConfig(), cwfOptions{})
+	b.setSink(&testSink{})
 	// Fill the critical sub-channel 0 queue (12 entries).
 	n := 0
 	for i := 0; b.critCtrl[0].CanAcceptRead(); i++ {
-		if !b.IssueFill(uint64(i*Channels), false, FillCallbacks{
-			OnCrit: func() {}, OnLine: func() {},
-		}) {
+		if !b.IssueFill(&cache.Entry{LineAddr: uint64(i * Channels)}) {
 			break
 		}
 		n++
@@ -92,7 +119,7 @@ func TestCWFBackendNeedsBothQueues(t *testing.T) {
 	if b.CanAcceptFill(0) {
 		t.Fatal("CanAcceptFill true with crit queue full")
 	}
-	if b.IssueFill(uint64(n*Channels), false, FillCallbacks{OnCrit: func() {}, OnLine: func() {}}) {
+	if b.IssueFill(&cache.Entry{LineAddr: uint64(n * Channels)}) {
 		t.Fatal("fill accepted with crit queue full")
 	}
 	// Channel 1's pair is independent.
@@ -108,15 +135,11 @@ func TestCWFBackendSharedCmdBusSerializes(t *testing.T) {
 	// accesses share one command bus, so data starts serialize at one
 	// command per bus cycle even though data buses are independent.
 	var starts []sim.Cycle
+	b.setSink(&testSink{
+		onCritF: func(*cache.Entry) { starts = append(starts, eng.Now()) },
+	})
 	for ch := uint64(0); ch < Channels; ch++ {
-		la := ch
-		ok := b.IssueFill(la, false, FillCallbacks{
-			OnCrit: func() { starts = append(starts, eng.Now()) },
-			OnLine: func() {},
-		})
-		if !ok {
-			t.Fatalf("fill %d rejected", ch)
-		}
+		fill(t, b, ch)
 	}
 	eng.RunUntil(100000)
 	if len(starts) != Channels {
@@ -198,10 +221,11 @@ func TestPrefetchHeadroomGate(t *testing.T) {
 	if !b.CanAcceptPrefetch(0) {
 		t.Fatal("empty queue rejects prefetch")
 	}
+	b.setSink(&testSink{})
 	// Fill channel 0's read queue past half.
 	limit := int(prefetchHeadroom * 48)
 	for i := 0; i <= limit; i++ {
-		b.IssueFill(uint64(i*Channels), false, FillCallbacks{OnCrit: func() {}, OnLine: func() {}})
+		b.IssueFill(&cache.Entry{LineAddr: uint64(i * Channels)})
 	}
 	if b.CanAcceptPrefetch(0) {
 		t.Fatal("half-full queue still accepts prefetch")
@@ -233,9 +257,8 @@ func TestCWFWideRankStructure(t *testing.T) {
 			t.Fatal("wide rank routing broken")
 		}
 	}
-	if !b.IssueFill(3, false, FillCallbacks{OnCrit: func() {}, OnLine: func() {}}) {
-		t.Fatal("wide-rank fill rejected")
-	}
+	b.setSink(&testSink{})
+	fill(t, b, 3)
 	eng.RunUntil(100000)
 	if b.critChan[0].Stat.Reads != 1 {
 		t.Fatal("wide-rank read not issued")

@@ -70,6 +70,8 @@ type Hierarchy struct {
 	wbQueue []uint64
 	wbArmed bool
 
+	wbH wbDrainDispatch
+
 	recent     map[uint64]fillRec
 	recentRing []uint64
 	recentPos  int
@@ -107,8 +109,16 @@ func newHierarchy(eng *sim.Engine, cfg SystemConfig, mem backend, shared bool) *
 	if cfg.TrackPerLine {
 		h.perLine = make(map[uint64]*[8]uint32)
 	}
+	h.wbH = wbDrainDispatch{h}
+	mem.setSink(h)
 	return h
 }
+
+// wbDrainDispatch is the preallocated event handler for write-back
+// drain retries.
+type wbDrainDispatch struct{ h *Hierarchy }
+
+func (d wbDrainDispatch) OnEvent(any) { d.h.drainWB() }
 
 // placedWord reports which word of a line the fast path stores.
 func (h *Hierarchy) placedWord(lineAddr uint64, reqWord int) int {
@@ -226,13 +236,11 @@ func (h *Hierarchy) Access(coreID int, addr uint64, store bool, wake func()) cpu
 	return cpu.AccessMiss
 }
 
-// issue launches the DRAM transactions for an MSHR entry.
+// issue launches the DRAM transactions for an MSHR entry. The backend
+// delivers arrival events to h's fillSink methods with e as argument —
+// no per-fill closures.
 func (h *Hierarchy) issue(e *cache.Entry) bool {
-	return h.mem.IssueFill(e.LineAddr, e.Prefetch, FillCallbacks{
-		OnCrit:    func() { h.onCrit(e) },
-		OnReqWord: func() { h.onReqWord(e) },
-		OnLine:    func() { h.onLine(e) },
-	})
+	return h.mem.IssueFill(e)
 }
 
 // wordAvailable reports whether a given word of an in-flight fill has
@@ -402,21 +410,24 @@ func (h *Hierarchy) armWBDrain() {
 		return
 	}
 	h.wbArmed = true
-	h.eng.Schedule(200, func() {
-		h.wbArmed = false
-		n := 0
-		for n < len(h.wbQueue) {
-			la := h.wbQueue[n]
-			if !h.mem.CanAcceptWriteback(la) || !h.mem.IssueWriteback(la) {
-				break
-			}
-			n++
+	h.eng.ScheduleEvent(200, h.wbH, nil)
+}
+
+// drainWB retries buffered write-backs in order, re-arming if blocked.
+func (h *Hierarchy) drainWB() {
+	h.wbArmed = false
+	n := 0
+	for n < len(h.wbQueue) {
+		la := h.wbQueue[n]
+		if !h.mem.CanAcceptWriteback(la) || !h.mem.IssueWriteback(la) {
+			break
 		}
-		h.wbQueue = h.wbQueue[n:]
-		if len(h.wbQueue) > 0 {
-			h.armWBDrain()
-		}
-	})
+		n++
+	}
+	h.wbQueue = h.wbQueue[n:]
+	if len(h.wbQueue) > 0 {
+		h.armWBDrain()
+	}
 }
 
 // train feeds the prefetcher on a demand LLC miss and issues covered

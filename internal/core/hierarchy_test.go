@@ -12,6 +12,7 @@ import (
 // stubBackend gives tests full control over fill delivery timing.
 type stubBackend struct {
 	eng       *sim.Engine
+	sink      fillSink
 	fills     []stubFill
 	wbs       []uint64
 	acceptRd  bool
@@ -24,7 +25,6 @@ type stubBackend struct {
 type stubFill struct {
 	lineAddr uint64
 	prefetch bool
-	cb       FillCallbacks
 }
 
 func newStub(eng *sim.Engine) *stubBackend {
@@ -46,18 +46,16 @@ func (s *stubBackend) IssueWriteback(la uint64) bool {
 }
 func (s *stubBackend) Groups() []ChannelGroup { return nil }
 
-func (s *stubBackend) IssueFill(la uint64, prefetch bool, cb FillCallbacks) bool {
+func (s *stubBackend) setSink(k fillSink) { s.sink = k }
+
+func (s *stubBackend) IssueFill(e *cache.Entry) bool {
 	if !s.acceptRd {
 		return false
 	}
-	s.fills = append(s.fills, stubFill{la, prefetch, cb})
-	s.eng.Schedule(s.critDelay, cb.OnCrit)
-	s.eng.Schedule(s.lineDelay-4, func() {
-		if cb.OnReqWord != nil {
-			cb.OnReqWord()
-		}
-	})
-	s.eng.Schedule(s.lineDelay, cb.OnLine)
+	s.fills = append(s.fills, stubFill{e.LineAddr, e.Prefetch})
+	s.eng.Schedule(s.critDelay, func() { s.sink.onCrit(e) })
+	s.eng.Schedule(s.lineDelay-4, func() { s.sink.onReqWord(e) })
+	s.eng.Schedule(s.lineDelay, func() { s.sink.onLine(e) })
 	return true
 }
 

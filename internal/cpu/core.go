@@ -64,21 +64,29 @@ func DefaultConfig() Config {
 // progress until a memory response arrives.
 const WaitForever = sim.Cycle(1<<62 - 1)
 
-// loadTicket tracks resolution of one load for dependent instructions.
-type loadTicket struct {
-	resolved bool
-	at       sim.Cycle
-}
-
-func (l *loadTicket) ready(now sim.Cycle) bool { return l.resolved && now >= l.at }
-
-// robEntry is one in-flight instruction.
+// robEntry is one in-flight instruction. Load-resolution state (what a
+// separate heap-allocated ticket used to track) lives inline: resolved
+// and readyAt record when the load's data becomes usable by dependents,
+// and gen disambiguates slot reuse for stale loadRef holders.
 type robEntry struct {
 	isLoad     bool
 	waitingMem bool      // load miss outstanding
 	completeAt sim.Cycle // valid when !waitingMem
-	ticket     *loadTicket
+	resolved   bool      // load data availability known
+	readyAt    sim.Cycle // cycle the load's data is usable
+	gen        uint64    // bumped on every slot reuse
 }
+
+// loadRef identifies a load by ROB slot and generation. A generation
+// mismatch means the referenced load has retired and its slot was
+// recycled — its data has long been available.
+type loadRef struct {
+	slot int32
+	gen  uint64
+}
+
+// noLoad is the empty reference (before any load has dispatched).
+var noLoad = loadRef{slot: -1}
 
 // Stats aggregates per-core performance counters.
 type Stats struct {
@@ -108,7 +116,11 @@ type Core struct {
 	nextOp     MemOp
 	haveOp     bool
 
-	lastLoad *loadTicket
+	lastLoad loadRef
+
+	// wakeFns holds one preallocated wake closure per ROB slot so that
+	// issuing a load performs no allocation.
+	wakeFns []func()
 
 	wakePending bool
 	Stat        Stats
@@ -119,8 +131,36 @@ func New(id int, cfg Config, trace Trace, port Port) *Core {
 	if cfg.ROBSize <= 0 || cfg.Width <= 0 {
 		panic("cpu: invalid core config")
 	}
-	return &Core{ID: id, Cfg: cfg, Port: port, trace: trace,
-		rob: make([]robEntry, cfg.ROBSize)}
+	c := &Core{ID: id, Cfg: cfg, Port: port, trace: trace,
+		rob: make([]robEntry, cfg.ROBSize), lastLoad: noLoad}
+	c.wakeFns = make([]func(), cfg.ROBSize)
+	for i := range c.wakeFns {
+		slot := i
+		c.wakeFns[i] = func() { c.wakeSlot(slot) }
+	}
+	return c
+}
+
+// loadReady reports whether the referenced load's data is usable at now.
+func (c *Core) loadReady(ref loadRef, now sim.Cycle) bool {
+	if ref.slot < 0 {
+		return true
+	}
+	e := &c.rob[ref.slot]
+	if e.gen != ref.gen {
+		return true // the load retired; its slot was recycled
+	}
+	return e.resolved && now >= e.readyAt
+}
+
+// loadResolved reports whether the referenced load's completion time is
+// known (even if still in the future).
+func (c *Core) loadResolved(ref loadRef) bool {
+	if ref.slot < 0 {
+		return true
+	}
+	e := &c.rob[ref.slot]
+	return e.gen != ref.gen || e.resolved
 }
 
 // WakePending reports (and clears) whether a memory response arrived
@@ -134,9 +174,20 @@ func (c *Core) WakePending() bool {
 // HasWake reports a pending wake without clearing it (driver lookahead).
 func (c *Core) HasWake() bool { return c.wakePending }
 
+// slotOf maps the i-th oldest ROB position to its slot index. A compare
+// instead of a modulo: i is always < len(rob), so one wrap suffices,
+// and integer division is too slow for a loop this hot.
+func (c *Core) slotOf(i int) int {
+	s := c.head + i
+	if s >= len(c.rob) {
+		s -= len(c.rob)
+	}
+	return s
+}
+
 // entryAt returns the i-th oldest ROB entry.
 func (c *Core) entryAt(i int) *robEntry {
-	return &c.rob[(c.head+i)%len(c.rob)]
+	return &c.rob[c.slotOf(i)]
 }
 
 // Step advances the core by one cycle at time now and returns the next
@@ -164,7 +215,10 @@ func (c *Core) retire(now sim.Cycle) {
 		if e.waitingMem || now < e.completeAt {
 			return
 		}
-		c.head = (c.head + 1) % len(c.rob)
+		c.head++
+		if c.head == len(c.rob) {
+			c.head = 0
+		}
 		c.count--
 		c.Stat.Retired++
 	}
@@ -188,7 +242,7 @@ func (c *Core) dispatch(now sim.Cycle) {
 		}
 		// A memory op is at the front.
 		op := c.nextOp
-		if op.DepPrev && c.lastLoad != nil && !c.lastLoad.ready(now) {
+		if op.DepPrev && !c.loadReady(c.lastLoad, now) {
 			c.Stat.DepStalls++
 			return
 		}
@@ -203,31 +257,29 @@ func (c *Core) dispatch(now sim.Cycle) {
 // pushPlain dispatches one ALU instruction (1-cycle execute).
 func (c *Core) pushPlain(now sim.Cycle) {
 	e := c.entryAt(c.count)
-	*e = robEntry{completeAt: now + 1}
+	*e = robEntry{completeAt: now + 1, gen: e.gen + 1}
 	c.count++
 }
 
 // issueMem dispatches a load or store; false means a structural hazard
 // blocked it (retry next cycle).
 func (c *Core) issueMem(now sim.Cycle, op MemOp) bool {
-	e := c.entryAt(c.count)
+	slot := c.slotOf(c.count)
+	e := &c.rob[slot]
 	if op.Store {
 		status := c.Port.Access(c.ID, op.Addr, true, nil)
 		if status == AccessRetry {
 			return false
 		}
 		// Posted: the store buffer hides everything beyond dispatch.
-		*e = robEntry{completeAt: now + 1}
+		*e = robEntry{completeAt: now + 1, gen: e.gen + 1}
 		c.count++
 		c.Stat.Stores++
 		return true
 	}
 
-	ticket := &loadTicket{}
-	*e = robEntry{isLoad: true, ticket: ticket}
-	status := c.Port.Access(c.ID, op.Addr, false, func() {
-		c.wakeLoad(e, ticket)
-	})
+	*e = robEntry{isLoad: true, gen: e.gen + 1}
+	status := c.Port.Access(c.ID, op.Addr, false, c.wakeFns[slot])
 	switch status {
 	case AccessRetry:
 		return false
@@ -242,26 +294,27 @@ func (c *Core) issueMem(now sim.Cycle, op MemOp) bool {
 		panic(fmt.Sprintf("cpu: unknown access status %d", status))
 	}
 	if !e.waitingMem {
-		ticket.resolved = true
-		ticket.at = e.completeAt
+		e.resolved = true
+		e.readyAt = e.completeAt
 	}
 	c.count++
 	c.Stat.Loads++
-	c.lastLoad = ticket
+	c.lastLoad = loadRef{slot: int32(slot), gen: e.gen}
 	return true
 }
 
-// wakeLoad is invoked by the port when a missing load's word arrives.
-func (c *Core) wakeLoad(e *robEntry, ticket *loadTicket) {
-	if !e.waitingMem || e.ticket != ticket {
+// wakeSlot is invoked by the port when a missing load's word arrives.
+func (c *Core) wakeSlot(slot int) {
+	e := &c.rob[slot]
+	if !e.isLoad || !e.waitingMem {
 		// The entry was recycled (should not happen: entries stay in
 		// the ROB until retire, and retire requires completion).
 		panic("cpu: wake for a recycled ROB entry")
 	}
 	e.waitingMem = false
 	e.completeAt = 0 // data is here; retire eligibility is immediate
-	ticket.resolved = true
-	ticket.at = 0
+	e.resolved = true
+	e.readyAt = 0
 	c.wakePending = true
 }
 
@@ -275,7 +328,7 @@ func (c *Core) nextWake(now sim.Cycle) sim.Cycle {
 	// a wake.
 	headWaiting := c.rob[c.head].waitingMem
 	dispatchBlocked := c.count == len(c.rob) ||
-		(c.haveOp && c.pendingGap == 0 && c.nextOp.DepPrev && c.lastLoad != nil && !c.lastLoad.resolved)
+		(c.haveOp && c.pendingGap == 0 && c.nextOp.DepPrev && !c.loadResolved(c.lastLoad))
 	if headWaiting && dispatchBlocked {
 		// Any non-waiting entry behind the head still finishes on its
 		// own, but nothing retires or dispatches until the wake.

@@ -1,0 +1,71 @@
+package memctrl
+
+import (
+	"testing"
+
+	"hetsim/internal/dram"
+	"hetsim/internal/sim"
+)
+
+// benchController builds a pooled DDR3 controller ready for traffic.
+func benchController() (*sim.Engine, *Controller) {
+	eng := &sim.Engine{}
+	ch := dram.NewChannel(dram.DDR3Config(), 1, nil)
+	c := New(eng, ch, DefaultConfig(dram.DDR3))
+	c.Pool = &Pool{}
+	return eng, c
+}
+
+// BenchmarkControllerReadRoundtrip measures one pooled read through the
+// controller: enqueue, schedule, DRAM timing, completion callback, and
+// request recycling. Steady state must not allocate.
+func BenchmarkControllerReadRoundtrip(b *testing.B) {
+	eng, c := benchController()
+	done := 0
+	onComplete := func(*Request) { done++ }
+	// Prime: the first requests grow the event heap and queues.
+	for i := 0; i < 64; i++ {
+		r := c.Pool.Get()
+		r.Addr = uint64(i)
+		r.OnComplete = onComplete
+		c.EnqueueRead(r)
+		eng.RunUntil(eng.Now() + 1000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := c.Pool.Get()
+		r.Addr = uint64(i)
+		r.OnComplete = onComplete
+		if !c.EnqueueRead(r) {
+			b.Fatal("enqueue rejected")
+		}
+		eng.RunUntil(eng.Now() + 1000)
+	}
+	if done == 0 {
+		b.Fatal("no reads completed")
+	}
+}
+
+// TestControllerSteadyStateZeroAlloc pins the controller's hot path to
+// zero allocations per pooled read once queues and the event heap have
+// reached steady-state capacity.
+func TestControllerSteadyStateZeroAlloc(t *testing.T) {
+	eng, c := benchController()
+	onComplete := func(*Request) {}
+	issue := func() {
+		r := c.Pool.Get()
+		r.Addr = 42
+		r.OnComplete = onComplete
+		if !c.EnqueueRead(r) {
+			t.Fatal("enqueue rejected")
+		}
+		eng.RunUntil(eng.Now() + 2000)
+	}
+	for i := 0; i < 64; i++ {
+		issue() // warm the freelist, queues, and event heap
+	}
+	if avg := testing.AllocsPerRun(200, issue); avg != 0 {
+		t.Fatalf("steady-state read allocates %.1f objects, want 0", avg)
+	}
+}

@@ -28,9 +28,19 @@ type Request struct {
 	// OnIssue fires synchronously when the column access issues, with
 	// DataStart and DataEnd filled in: the hook the cache hierarchy
 	// uses to schedule first-beat (critical-word) delivery.
+	//
+	// Hot callers assign a preallocated func value (a method value built
+	// once at construction) rather than a fresh closure, and pass
+	// per-request context through Ctx/Tag.
 	OnIssue func(*Request)
 	// OnComplete fires (via the engine) at DataEnd for reads.
 	OnComplete func(*Request)
+
+	// Ctx and Tag carry opaque caller context (e.g. the MSHR entry and
+	// the channel index) so the callbacks above can be shared, already-
+	// allocated func values instead of per-request closures.
+	Ctx any
+	Tag int
 }
 
 // Config tunes one controller.
@@ -98,6 +108,11 @@ type Controller struct {
 	Map AddressMapper
 	Cfg Config
 
+	// Pool, when set, receives dead requests for reuse (posted writes at
+	// issue, reads after their completion callback). Leave nil to keep
+	// requests alive for the caller (tests).
+	Pool *Pool
+
 	rq []*Request
 	wq []*Request
 
@@ -107,15 +122,62 @@ type Controller struct {
 	sleepArmed   bool
 	lastActivity sim.Cycle
 
+	// Preallocated event handlers: every recurring engine event the
+	// controller schedules dispatches on one of these instead of a fresh
+	// closure (the tick loop alone used to allocate one closure per DRAM
+	// bus cycle).
+	tickH  tickDispatch
+	maintH maintDispatch
+	sleepH sleepDispatch
+	compH  completeDispatch
+
 	Stats Stat
+}
+
+// tickDispatch adapts the per-bus-cycle scheduling step to sim.EventHandler.
+type tickDispatch struct{ c *Controller }
+
+func (d tickDispatch) OnEvent(any) { d.c.tick() }
+
+// maintDispatch runs the deferred refresh-maintenance check.
+type maintDispatch struct{ c *Controller }
+
+func (d maintDispatch) OnEvent(any) { d.c.maintTick() }
+
+// sleepDispatch runs the deferred power-down re-check.
+type sleepDispatch struct{ c *Controller }
+
+func (d sleepDispatch) OnEvent(any) { d.c.sleepTick() }
+
+// completeDispatch fires a read's completion callback at DataEnd and
+// releases the request.
+type completeDispatch struct{ c *Controller }
+
+func (d completeDispatch) OnEvent(arg any) {
+	r := arg.(*Request)
+	if r.OnComplete != nil {
+		r.OnComplete(r)
+	}
+	if d.c.Pool != nil {
+		d.c.Pool.Put(r)
+	}
 }
 
 // New builds a controller over ch.
 func New(eng *sim.Engine, ch *dram.Channel, cfg Config) *Controller {
-	return &Controller{
+	c := &Controller{
 		Eng: eng, Ch: ch, Cfg: cfg,
 		Map: MapperFor(ch.Cfg, ch.Ranks()),
+		// Queues never outgrow their configured bounds; sizing them up
+		// front keeps enqueue from ever reallocating.
+		rq: make([]*Request, 0, cfg.ReadQueueSize),
+		wq: make([]*Request, 0, cfg.WriteQueueSize),
 	}
+	c.tickH = tickDispatch{c}
+	c.maintH = maintDispatch{c}
+	c.sleepH = sleepDispatch{c}
+	c.compH = completeDispatch{c}
+	return c
 }
 
 // CanAcceptRead reports whether the read queue has space.
@@ -171,7 +233,7 @@ func (c *Controller) kick() {
 		return
 	}
 	c.ticking = true
-	c.Eng.Schedule(0, c.tick)
+	c.Eng.ScheduleEvent(0, c.tickH, nil)
 }
 
 // busCycle returns the scheduling quantum.
@@ -189,7 +251,7 @@ func (c *Controller) tick() {
 	}
 
 	if len(c.rq) > 0 || len(c.wq) > 0 || c.refreshPending(now) {
-		c.Eng.Schedule(c.busCycle(), c.tick)
+		c.Eng.ScheduleEvent(c.busCycle(), c.tickH, nil)
 		return
 	}
 	// Idle: consider power-down, then park the tick loop. A maintenance
@@ -230,24 +292,27 @@ func (c *Controller) scheduleMaintenance(now sim.Cycle) {
 	if delay < 0 {
 		delay = 0
 	}
-	c.Eng.Schedule(delay, func() {
-		c.maintArmed = false
-		if c.ticking {
-			return
+	c.Eng.ScheduleEvent(delay, c.maintH, nil)
+}
+
+// maintTick is the deferred maintenance check armed by scheduleMaintenance.
+func (c *Controller) maintTick() {
+	c.maintArmed = false
+	if c.ticking {
+		return
+	}
+	anyDue := false
+	for rk := 0; rk < c.Ch.Ranks(); rk++ {
+		if c.Ch.RefreshDue(c.Eng.Now(), rk) {
+			anyDue = true
+			c.wakeRank(rk)
 		}
-		anyDue := false
-		for rk := 0; rk < c.Ch.Ranks(); rk++ {
-			if c.Ch.RefreshDue(c.Eng.Now(), rk) {
-				anyDue = true
-				c.wakeRank(rk)
-			}
-		}
-		if anyDue {
-			c.kick()
-		} else if c.Ch.Cfg.Timing.TREFI > 0 {
-			c.scheduleMaintenance(c.Eng.Now())
-		}
-	})
+	}
+	if anyDue {
+		c.kick()
+	} else if c.Ch.Cfg.Timing.TREFI > 0 {
+		c.scheduleMaintenance(c.Eng.Now())
+	}
 }
 
 // refreshDueAt approximates the next refresh deadline for maintenance
@@ -318,12 +383,15 @@ func (c *Controller) armSleepCheck(delay sim.Cycle) {
 		return
 	}
 	c.sleepArmed = true
-	c.Eng.Schedule(delay, func() {
-		c.sleepArmed = false
-		if !c.ticking && len(c.rq) == 0 && len(c.wq) == 0 {
-			c.maybeSleep(c.Eng.Now())
-		}
-	})
+	c.Eng.ScheduleEvent(delay, c.sleepH, nil)
+}
+
+// sleepTick is the deferred power-down re-check armed by armSleepCheck.
+func (c *Controller) sleepTick() {
+	c.sleepArmed = false
+	if !c.ticking && len(c.rq) == 0 && len(c.wq) == 0 {
+		c.maybeSleep(c.Eng.Now())
+	}
 }
 
 // closeAllBanks precharges every open bank; returns true if all idle.
@@ -468,6 +536,10 @@ func (c *Controller) finishIssue(r *Request, now, dataStart sim.Cycle, isWrite b
 	if isWrite {
 		c.wq = remove(c.wq, r)
 		c.Stats.WritesDone++
+		// Posted writes are dead once issued.
+		if c.Pool != nil {
+			c.Pool.Put(r)
+		}
 		return
 	}
 	c.rq = remove(c.rq, r)
@@ -480,8 +552,8 @@ func (c *Controller) finishIssue(r *Request, now, dataStart sim.Cycle, isWrite b
 	if r.OnIssue != nil {
 		r.OnIssue(r)
 	}
-	if r.OnComplete != nil {
-		c.Eng.ScheduleAt(r.DataEnd, func() { r.OnComplete(r) })
+	if r.OnComplete != nil || c.Pool != nil {
+		c.Eng.ScheduleEventAt(r.DataEnd, c.compH, r)
 	}
 }
 

@@ -1,0 +1,31 @@
+package memctrl
+
+// Pool is a deterministic LIFO freelist of Requests. The simulator's hot
+// path allocates one or two Requests per line fill; recycling them keeps
+// steady-state simulation allocation-free. A plain slice (not sync.Pool)
+// makes reuse order — and therefore every run — bit-for-bit reproducible,
+// and the engine is single-threaded so no locking is needed.
+//
+// A Controller with a non-nil Pool returns each request to it as soon as
+// the request is dead: at issue for posted writes, after the completion
+// callback has been dispatched for reads. Callers must not retain a
+// request past its completion callback.
+type Pool struct {
+	free []*Request
+}
+
+// Get returns a zeroed Request, reusing a freed one when available.
+func (p *Pool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		*r = Request{}
+		return r
+	}
+	return &Request{}
+}
+
+// Put returns a dead request to the freelist.
+func (p *Pool) Put(r *Request) {
+	p.free = append(p.free, r)
+}

@@ -1,0 +1,49 @@
+// Package profiling wires runtime/pprof into the command-line tools:
+// -cpuprofile/-memprofile flags on cmd/experiments and cmd/sweep feed
+// `go tool pprof` exactly like `go test`'s flags of the same names do.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (if cpuPath is non-empty) and returns a
+// stop function that ends it and writes the allocation profile (if
+// memPath is non-empty). Call stop exactly once, on the normal exit
+// path: a profile truncated by os.Exit is useless anyway.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			defer f.Close()
+			// Match `go test -memprofile`: an up-to-date "allocs"
+			// profile (total allocations since start, plus live heap).
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+		}
+	}, nil
+}

@@ -30,7 +30,12 @@ type Generator struct {
 	curLine uint64
 	runLeft int
 
-	pending []delayed
+	// pending is a fixed ring of reuse accesses waiting to mature: a
+	// slice that pops from the front loses capacity and re-allocates on
+	// every push, which the hot path cannot afford.
+	pending   [8]delayed
+	pendHead  int
+	pendCount int
 
 	// history is a ring of recently touched line indices used for
 	// medium-distance reuse (MidReuseProb): revisits of lines that may
@@ -168,12 +173,13 @@ func (g *Generator) sharedAddr() (uint64, int) {
 // Next emits the next memory operation (cpu.Trace).
 func (g *Generator) Next() cpu.MemOp {
 	// Emit a matured reuse access first.
-	for i := range g.pending {
-		g.pending[i].after--
+	for i := 0; i < g.pendCount; i++ {
+		g.pending[(g.pendHead+i)&7].after--
 	}
-	if len(g.pending) > 0 && g.pending[0].after <= 0 {
-		op := g.pending[0].op
-		g.pending = g.pending[1:]
+	if g.pendCount > 0 && g.pending[g.pendHead].after <= 0 {
+		op := g.pending[g.pendHead].op
+		g.pendHead = (g.pendHead + 1) & 7
+		g.pendCount--
 		return op
 	}
 
@@ -231,17 +237,18 @@ func (g *Generator) Next() cpu.MemOp {
 	op.Addr = g.addr(lineIdx, w)
 
 	// Schedule a second access to a different word of this line.
-	if g.rng.Bool(sp.ReuseProb) && len(g.pending) < 8 {
+	if g.rng.Bool(sp.ReuseProb) && g.pendCount < len(g.pending) {
 		w2 := (w + 1 + g.rng.Intn(7)) % 8
 		gapOps := 1 + int(sp.ReuseGapMean/(sp.GapMean+1))
-		g.pending = append(g.pending, delayed{
+		g.pending[(g.pendHead+g.pendCount)&7] = delayed{
 			op: cpu.MemOp{
 				Gap:   g.rng.Geometric(sp.ReuseGapMean),
 				Addr:  g.addr(lineIdx, w2),
 				Store: g.rng.Bool(sp.StoreFrac),
 			},
 			after: gapOps,
-		})
+		}
+		g.pendCount++
 	}
 	return op
 }
