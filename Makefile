@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz bench bench-json profile verify
+.PHONY: build vet test race fuzz faults bench bench-json profile verify
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,17 @@ test: build
 race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the trace parser (seed corpus always runs as
+# Short fuzz passes over the text parsers (seed corpora always run as
 # part of plain `make test`).
 fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/faults/ -fuzz FuzzParse -fuzztime 30s
+
+# Fault-sensitivity table: the RL system under escalating bit-fault
+# rates, a scripted line chip-kill, and a dead critical-word DIMM.
+faults:
+	$(GO) run ./cmd/experiments -only faults -scale test \
+		-benchmarks libquantum,mcf,lbm -j 0
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -37,3 +37,29 @@ func TestAllocationBudget(t *testing.T) {
 			"the event kernel has regressed", avg, allocBudget)
 	}
 }
+
+// TestFaultLayerZeroAlloc pins the armed-but-idle fault layer under the
+// same budget: an injector with all rates zero and a never-due schedule
+// entry must add no steady-state allocation to the read path (its only
+// cost is the one-time Injector construction).
+func TestFaultLayerZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system run; skipped in -short mode")
+	}
+	cfg := hetsim.RL(8)
+	cfg.Faults.Schedule = []hetsim.FaultEvent{{At: 1 << 40, Channel: -1, Chip: -1}}
+	avg := testing.AllocsPerRun(1, func() {
+		sys, err := hetsim.NewSystem(cfg, "libquantum")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := sys.Run(hetsim.Scale{WarmupReads: 500, MeasureReads: 5000, MaxCycles: 50_000_000})
+		if res.DemandReads < 5000 {
+			t.Fatalf("run too short: %d reads", res.DemandReads)
+		}
+	})
+	if avg > allocBudget {
+		t.Fatalf("armed fault layer allocated %.0f objects, budget %d; "+
+			"the injection path has picked up per-read allocation", avg, allocBudget)
+	}
+}

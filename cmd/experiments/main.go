@@ -8,6 +8,8 @@
 //	experiments -scale paper         # §5-sized runs (2M reads; slow)
 //	experiments -benchmarks mcf,lbm  # a subset of workloads
 //	experiments -j 8                 # run up to 8 simulations in parallel
+//	experiments -only faults         # fault-sensitivity table (opt-in)
+//	experiments -faults "crit.bit=1e-4; line.bit=1e-4" -fault-seed 7
 package main
 
 import (
@@ -30,6 +32,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	measure := flag.Uint64("measure", 0, "override measured DRAM reads per run (0 = scale default)")
 	workers := flag.Int("j", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial; results are identical)")
+	faultSpec := flag.String("faults", "", `fault environment applied to every run, e.g. "crit.bit=1e-4; line.bit=1e-4; @1000 chipkill line 0 3"`)
+	faultSeed := flag.Uint64("fault-seed", 0, "override the fault-injection RNG seed (with -faults)")
 	verbose := flag.Bool("v", false, "log each run")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -62,6 +66,17 @@ func main() {
 		scale.MaxCycles = 1 << 40
 	}
 	opts := exp.Options{Scale: scale, NCores: *cores, Seed: *seed, Workers: *workers}
+	if *faultSpec != "" {
+		fc, err := hetsim.ParseFaults(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		if *faultSeed != 0 {
+			fc.Seed = *faultSeed
+		}
+		opts.Faults = fc
+	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -283,6 +298,21 @@ func main() {
 		fmt.Println(res.Table)
 		note(fmt.Sprintf("%-34s paper: future-work sketch  measured RL %.3f vs HMC %.3f",
 			"§10 heterogeneous HMC", res.MeanRL, res.MeanHMC))
+	}
+
+	// The fault-sensitivity sweep is opt-in (it is not part of the
+	// paper's evaluation): run it only when named explicitly in -only,
+	// so the default output stays byte-identical.
+	if want["faults"] {
+		res, err := exp.FaultSensitivity(r)
+		if err != nil {
+			fail("faults", err)
+		}
+		fmt.Println(res.Table)
+		if n := len(res.Gains); n > 0 {
+			note(fmt.Sprintf("%-34s dead-crit retains %.0f%% of clean RL throughput",
+				"fault sensitivity", res.Gains[n-1]*100))
+		}
 	}
 
 	if len(summary) > 0 {

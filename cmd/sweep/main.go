@@ -8,6 +8,8 @@
 //	sweep -bench mcf -config rl -param parityrate -values 0,0.01,0.1,1
 //	sweep -bench leslie3d -config baseline -param cores -values 1,2,4,8
 //	sweep -bench mg -config rl -param reads -values 5000,20000,80000
+//	sweep -bench mcf -config rl -param faultrate -values 0,1e-4,1e-3,1e-2
+//	sweep ... -faults "@1000 dead crit" -fault-seed 7
 //	sweep ... -j 4                 # run grid points in parallel
 package main
 
@@ -27,11 +29,13 @@ import (
 func main() {
 	bench := flag.String("bench", "libquantum", "benchmark name")
 	config := flag.String("config", "rl", "configuration (see cmd/hetsim)")
-	param := flag.String("param", "robsize", "swept parameter: robsize|cores|parityrate|reads")
+	param := flag.String("param", "robsize", "swept parameter: robsize|cores|parityrate|faultrate|reads")
 	values := flag.String("values", "32,64,128", "comma-separated values")
 	scaleName := flag.String("scale", "test", "base run scale: test|bench|paper")
 	out := flag.String("o", "", "output CSV path (default stdout)")
 	pair := flag.Bool("pair", false, "run the stand-alone reference too (fills throughput columns)")
+	faultSpec := flag.String("faults", "", `fault environment applied to every grid point, e.g. "line.bit=1e-4; @1000 chipkill line 0 3"`)
+	faultSeed := flag.Uint64("fault-seed", 0, "override the fault-injection RNG seed")
 	workers := flag.Int("j", 0, "parallel grid points (0 = GOMAXPROCS, 1 = serial; output is identical)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -74,6 +78,18 @@ func main() {
 	for _, vs := range strings.Split(*values, ",") {
 		vals = append(vals, strings.TrimSpace(vs))
 	}
+	var baseFaults hetsim.FaultConfig
+	if *faultSpec != "" {
+		fc, err := hetsim.ParseFaults(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		baseFaults = fc
+	}
+	if *faultSeed != 0 {
+		baseFaults.Seed = *faultSeed
+	}
+
 	pool := runpool.New[int, hetsim.Results](*workers)
 	tasks := make([]*runpool.Task[hetsim.Results], len(vals))
 	for i, vs := range vals {
@@ -81,6 +97,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		cfg.Faults = baseFaults
 		runScale := scale
 		switch strings.ToLower(*param) {
 		case "robsize":
@@ -101,6 +118,15 @@ func main() {
 				fatal(err)
 			}
 			cfg.CritParityErrorRate = p
+		case "faultrate":
+			p, err := strconv.ParseFloat(vs, 64)
+			if err != nil {
+				fatal(err)
+			}
+			// A uniform transient-bit rate on both DIMM classes: the
+			// headline fault-sensitivity axis.
+			cfg.Faults.Crit.TransientBit = p
+			cfg.Faults.Line.TransientBit = p
 		case "reads":
 			n, err := strconv.ParseUint(vs, 10, 64)
 			if err != nil {

@@ -29,6 +29,7 @@ import (
 
 	"hetsim/internal/core"
 	"hetsim/internal/exp"
+	"hetsim/internal/faults"
 	"hetsim/internal/workload"
 )
 
@@ -55,6 +56,20 @@ const (
 	PlaceOracle   = core.PlaceOracle
 	PlaceRandom   = core.PlaceRandom
 )
+
+// FaultConfig describes a fault-injection environment for a run (set it
+// on Config.Faults). The zero value injects nothing and costs nothing.
+type FaultConfig = faults.Config
+
+// FaultRates are the stochastic fault rates of one DIMM class.
+type FaultRates = faults.Rates
+
+// FaultEvent is one scripted fault, applied at a simulated cycle.
+type FaultEvent = faults.Event
+
+// ParseFaults parses the -faults flag grammar into a FaultConfig, e.g.
+// "crit.bit=1e-4; line.bit=1e-4; seed=7; @1000 chipkill line 0 3".
+func ParseFaults(s string) (FaultConfig, error) { return faults.Parse(s) }
 
 // Baseline returns the 8GB all-DDR3 system of Figure 5a.
 func Baseline(nCores int) Config { return core.Baseline(nCores) }

@@ -36,12 +36,19 @@ type Entry struct {
 	// ParityHeld records a critical-word parity failure (§4.2.3): the
 	// early word is withheld and consumers wait for line + SECDED.
 	ParityHeld bool
+	// NoCrit marks a fill issued without a critical-channel part (the
+	// RLDRAM DIMM is declared dead and the backend runs degraded): only
+	// the line part exists, and Done waits on it alone.
+	NoCrit bool
+	// CritEscaped records an injected critical-word corruption that
+	// evaded per-byte parity; SECDED flags it when the line arrives.
+	CritEscaped bool
 
 	Waiters []Waiter
 }
 
 // Done reports whether every part of the fill has landed.
-func (e *Entry) Done() bool { return e.LineArrived && e.CritArrived }
+func (e *Entry) Done() bool { return e.LineArrived && (e.CritArrived || e.NoCrit) }
 
 // MSHR is the LLC miss-status holding register file. Entries are keyed
 // by line address; capacity pressure propagates to the cores as retry

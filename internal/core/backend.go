@@ -47,6 +47,10 @@ type backend interface {
 	IssueFill(e *cache.Entry) bool
 	CanAcceptWriteback(lineAddr uint64) bool
 	IssueWriteback(lineAddr uint64) bool
+	// DegradeCrit declares the critical-word store dead (fault layer,
+	// §4.2.3 extended): from here on fills and write-backs use the line
+	// channels only. A no-op for organizations without one.
+	DegradeCrit()
 	Groups() []ChannelGroup
 }
 
@@ -195,6 +199,10 @@ func (b *lineBackend) IssueWriteback(lineAddr uint64) bool {
 	return true
 }
 
+// DegradeCrit is a no-op: homogeneous organizations have no separate
+// critical-word store to lose.
+func (b *lineBackend) DegradeCrit() {}
+
 func (b *lineBackend) Groups() []ChannelGroup { return b.group }
 
 // cwfBackend is the split organization of Figure 5c: four line channels
@@ -209,6 +217,11 @@ type cwfBackend struct {
 	sharedCmd *dram.CmdBus
 	wideRank  bool
 	groups    []ChannelGroup
+
+	// critDead is set by DegradeCrit: the RLDRAM DIMM is lost and the
+	// organization serves everything from the line channels (no early
+	// word, conventional burst-reorder only).
+	critDead bool
 
 	sink fillSink
 	pool memctrl.Pool
@@ -305,16 +318,24 @@ func (b *cwfBackend) critSub(ch int) int {
 
 func (b *cwfBackend) CanAcceptFill(lineAddr uint64) bool {
 	ch, _ := b.split(lineAddr)
+	if b.critDead {
+		return b.lineCtrl[ch].CanAcceptRead()
+	}
 	return b.lineCtrl[ch].CanAcceptRead() && b.critCtrl[b.critSub(ch)].CanAcceptRead()
 }
 
 func (b *cwfBackend) CanAcceptPrefetch(lineAddr uint64) bool {
 	ch, _ := b.split(lineAddr)
-	cs := b.critSub(ch)
 	lrq, _ := b.lineCtrl[ch].QueueDepths()
+	if float64(lrq) >= prefetchHeadroom*float64(b.lineCtrl[ch].Cfg.ReadQueueSize) {
+		return false
+	}
+	if b.critDead {
+		return true
+	}
+	cs := b.critSub(ch)
 	crq, _ := b.critCtrl[cs].QueueDepths()
-	return float64(lrq) < prefetchHeadroom*float64(b.lineCtrl[ch].Cfg.ReadQueueSize) &&
-		float64(crq) < prefetchHeadroom*float64(b.critCtrl[cs].Cfg.ReadQueueSize)
+	return float64(crq) < prefetchHeadroom*float64(b.critCtrl[cs].Cfg.ReadQueueSize)
 }
 
 // critDone (via Request.OnComplete) delivers the fast-path word: the
@@ -336,6 +357,25 @@ func (b *cwfBackend) lineDone(r *memctrl.Request) {
 
 func (b *cwfBackend) IssueFill(e *cache.Entry) bool {
 	chIdx, local := b.split(e.LineAddr)
+	if b.critDead {
+		// Degraded mode: line part only. The caller marks the entry
+		// NoCrit so completion does not wait for an early word.
+		if !b.lineCtrl[chIdx].CanAcceptRead() {
+			return false
+		}
+		lineReq := b.pool.Get()
+		lineReq.Addr = local
+		lineReq.Prefetch = e.Prefetch
+		lineReq.Ctx = e
+		lineReq.Tag = chIdx
+		lineReq.OnIssue = b.lineIssuedFn
+		lineReq.OnComplete = b.lineDoneFn
+		if !b.lineCtrl[chIdx].EnqueueRead(lineReq) {
+			b.pool.Put(lineReq)
+			return false
+		}
+		return true
+	}
 	cs := b.critSub(chIdx)
 	critLocal := local
 	if b.wideRank {
@@ -369,24 +409,29 @@ func (b *cwfBackend) IssueFill(e *cache.Entry) bool {
 
 func (b *cwfBackend) CanAcceptWriteback(lineAddr uint64) bool {
 	ch, _ := b.split(lineAddr)
+	if b.critDead {
+		return b.lineCtrl[ch].CanAcceptWrite()
+	}
 	return b.lineCtrl[ch].CanAcceptWrite() && b.critCtrl[b.critSub(ch)].CanAcceptWrite()
 }
 
 func (b *cwfBackend) IssueWriteback(lineAddr uint64) bool {
 	ch, local := b.split(lineAddr)
-	cs := b.critSub(ch)
-	critLocal := local
-	if b.wideRank {
-		critLocal = lineAddr
-	}
 	if !b.CanAcceptWriteback(lineAddr) {
 		return false
 	}
-	critReq := b.pool.Get()
-	critReq.Addr = critLocal
-	if !b.critCtrl[cs].EnqueueWrite(critReq) {
-		b.pool.Put(critReq)
-		return false
+	if !b.critDead {
+		cs := b.critSub(ch)
+		critLocal := local
+		if b.wideRank {
+			critLocal = lineAddr
+		}
+		critReq := b.pool.Get()
+		critReq.Addr = critLocal
+		if !b.critCtrl[cs].EnqueueWrite(critReq) {
+			b.pool.Put(critReq)
+			return false
+		}
 	}
 	lineReq := b.pool.Get()
 	lineReq.Addr = local
@@ -395,6 +440,12 @@ func (b *cwfBackend) IssueWriteback(lineAddr uint64) bool {
 	}
 	return true
 }
+
+// DegradeCrit switches the organization to line-only service: the
+// critical sub-channels accept no further traffic (in-flight critical
+// reads still drain and deliver — their data is simply stale garbage
+// the parity gate already rejected).
+func (b *cwfBackend) DegradeCrit() { b.critDead = true }
 
 func (b *cwfBackend) Groups() []ChannelGroup { return b.groups }
 

@@ -15,7 +15,9 @@ package core
 import (
 	"fmt"
 
+	"hetsim/internal/cpu"
 	"hetsim/internal/dram"
+	"hetsim/internal/faults"
 	"hetsim/internal/sim"
 	"hetsim/internal/trace"
 )
@@ -88,6 +90,12 @@ type SystemConfig struct {
 	// the full line + SECDED instead of the early word.
 	CritParityErrorRate float64
 
+	// Faults configures the deterministic fault-injection layer
+	// (internal/faults): transient/stuck bit and chip-kill rates per
+	// DIMM class plus a scripted event schedule. The zero value injects
+	// nothing and costs nothing.
+	Faults faults.Config
+
 	// PrivateCritCmdBus undoes the §4.2.4 aggregation: each critical
 	// sub-channel gets its own address/command bus (and the pin cost
 	// that entails). Ablation for the shared-bus bottleneck discussed
@@ -151,6 +159,7 @@ type ConfigKey struct {
 	HotPagesLen         int
 	HotPagesDigest      uint64
 	CritParityErrorRate float64
+	Faults              faults.Key
 	PrivateCritCmdBus   bool
 	WideCritRank        bool
 	TrackPerLine        bool
@@ -176,6 +185,7 @@ func (c SystemConfig) Key() ConfigKey {
 		HotPagesLen:         len(c.HotPages),
 		HotPagesDigest:      hotPagesDigest(c.HotPages),
 		CritParityErrorRate: c.CritParityErrorRate,
+		Faults:              c.Faults.Key(),
 		PrivateCritCmdBus:   c.PrivateCritCmdBus,
 		WideCritRank:        c.WideCritRank,
 		TrackPerLine:        c.TrackPerLine,
@@ -245,7 +255,10 @@ const Channels = 4
 // MSHRCapacity is the LLC miss-status register file size.
 const MSHRCapacity = 128
 
-// Validate checks the configuration.
+// Validate checks the configuration. It front-loads every constraint
+// that would otherwise surface as a panic deep inside construction or
+// the first simulated cycles (channel geometry, core sizing, fault
+// schedules), so a bad config is a clean error at NewSystem time.
 func (c SystemConfig) Validate() error {
 	if c.NCores <= 0 || c.NCores > 64 {
 		return fmt.Errorf("core: bad core count %d", c.NCores)
@@ -255,6 +268,48 @@ func (c SystemConfig) Validate() error {
 	}
 	if c.Split && c.CritKind == c.LineKind && c.CritKind == dram.LPDDR2 {
 		return fmt.Errorf("core: LPDDR2 critical channel is not a modelled design point")
+	}
+	lineCfg, err := lineConfigFor(c.LineKind)
+	if err != nil {
+		return err
+	}
+	if err := lineCfg.Validate(); err != nil {
+		return err
+	}
+	if c.Split {
+		switch c.CritKind {
+		case dram.RLDRAM3, dram.DDR3, dram.HMCFast:
+		default:
+			return fmt.Errorf("core: unsupported critical channel kind %v", c.CritKind)
+		}
+	}
+	switch c.Placement {
+	case PlaceStatic, PlaceAdaptive, PlaceOracle, PlaceRandom:
+	default:
+		return fmt.Errorf("core: unknown placement policy %d", c.Placement)
+	}
+	switch c.LineMapping {
+	case MapDefault, MapXOR, MapBankFirst:
+	default:
+		return fmt.Errorf("core: unknown line mapping %d", c.LineMapping)
+	}
+	if c.ROBSize < 0 {
+		return fmt.Errorf("core: negative ROB size %d", c.ROBSize)
+	}
+	if p := c.CritParityErrorRate; p < 0 || p > 1 || p != p {
+		return fmt.Errorf("core: crit parity error rate %v outside [0,1]", p)
+	}
+	// The core config the system will build must itself be valid; check
+	// it here instead of letting cpu.New panic mid-construction.
+	coreCfg := cpu.DefaultConfig()
+	if c.ROBSize > 0 {
+		coreCfg.ROBSize = c.ROBSize
+	}
+	if err := coreCfg.Validate(); err != nil {
+		return err
+	}
+	if err := c.Faults.Validate(Channels); err != nil {
+		return err
 	}
 	return nil
 }

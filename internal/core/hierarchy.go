@@ -3,6 +3,7 @@ package core
 import (
 	"hetsim/internal/cache"
 	"hetsim/internal/cpu"
+	"hetsim/internal/faults"
 	"hetsim/internal/prefetch"
 	"hetsim/internal/sim"
 	"hetsim/internal/stats"
@@ -36,6 +37,13 @@ type HierStats struct {
 
 	ParityErrors uint64
 	WBOverflow   uint64
+
+	// Fault-injection outcomes (internal/faults, §4.2.3 extended).
+	FaultHeld       uint64 // critical words withheld on injected dirty parity
+	FaultEscaped    uint64 // corruptions that evaded per-byte parity
+	SECDEDCorrected uint64 // line fills delayed by SECDED correction
+	Reconstructions uint64 // line fills rebuilt via the chipkill parity chip
+	DegradedFills   uint64 // fills issued line-only after the crit DIMM died
 }
 
 // fillRec supports the reuse-gap census.
@@ -67,10 +75,18 @@ type Hierarchy struct {
 
 	rng *sim.RNG
 
+	// inj is the fault-injection engine (nil when the config injects
+	// nothing, which makes the whole layer one pointer test per event).
+	inj *faults.Injector
+	// degraded latches once the critical-word DIMM is declared dead:
+	// the backend has switched to line-only service.
+	degraded bool
+
 	wbQueue []uint64
 	wbArmed bool
 
-	wbH wbDrainDispatch
+	wbH  wbDrainDispatch
+	lrH  lineReadyDispatch
 
 	recent     map[uint64]fillRec
 	recentRing []uint64
@@ -94,6 +110,7 @@ func newHierarchy(eng *sim.Engine, cfg SystemConfig, mem backend, shared bool) *
 		mshr:   cache.NewMSHR(MSHRCapacity),
 		placed: make(map[uint64]uint8),
 		rng:    sim.NewRNG(cfg.Seed ^ 0xec5),
+		inj:    faults.New(cfg.Faults, Channels),
 		recent: make(map[uint64]fillRec, reuseTrackCap),
 	}
 	h.recentRing = make([]uint64, reuseTrackCap)
@@ -110,9 +127,16 @@ func newHierarchy(eng *sim.Engine, cfg SystemConfig, mem backend, shared bool) *
 		h.perLine = make(map[uint64]*[8]uint32)
 	}
 	h.wbH = wbDrainDispatch{h}
+	h.lrH = lineReadyDispatch{h}
 	mem.setSink(h)
 	return h
 }
+
+// lineReadyDispatch is the preallocated event handler completing a line
+// fill after an ECC correction/reconstruction delay.
+type lineReadyDispatch struct{ h *Hierarchy }
+
+func (d lineReadyDispatch) OnEvent(arg any) { d.h.lineReady(arg.(*cache.Entry)) }
 
 // wbDrainDispatch is the preallocated event handler for write-back
 // drain retries.
@@ -209,7 +233,13 @@ func (h *Hierarchy) Access(coreID int, addr uint64, store bool, wake func()) cpu
 		return cpu.AccessMiss
 	}
 
-	// New fill required.
+	// New fill required. If the fault layer has declared the critical
+	// DIMM dead since the last fill, degrade the backend first so the
+	// capacity checks below see the line-only organization.
+	if h.inj != nil && h.cfg.Split && !h.degraded && h.inj.CritDead(h.eng.Now()) {
+		h.degraded = true
+		h.mem.DegradeCrit()
+	}
 	if h.mshr.Full() || !h.mem.CanAcceptFill(la) || len(h.wbQueue) >= wbQueueLimit {
 		return cpu.AccessRetry
 	}
@@ -240,7 +270,18 @@ func (h *Hierarchy) Access(coreID int, addr uint64, store bool, wake func()) cpu
 // delivers arrival events to h's fillSink methods with e as argument —
 // no per-fill closures.
 func (h *Hierarchy) issue(e *cache.Entry) bool {
-	return h.mem.IssueFill(e)
+	if h.degraded {
+		// The crit DIMM is dead: this fill has a line part only, and the
+		// requested word is served by conventional burst-reorder.
+		e.NoCrit = true
+	}
+	if !h.mem.IssueFill(e) {
+		return false
+	}
+	if e.NoCrit {
+		h.Stat.DegradedFills++
+	}
+	return true
 }
 
 // wordAvailable reports whether a given word of an in-flight fill has
@@ -264,6 +305,23 @@ func (h *Hierarchy) onCrit(e *cache.Entry) {
 		h.maybeFinish(e)
 		return
 	}
+	if h.inj != nil && h.cfg.Split {
+		switch h.inj.CritRead(h.eng.Now(), e.LineAddr) {
+		case faults.CritHeld:
+			// Injected corruption dirtied the per-byte parity: withhold
+			// the early word; consumers wait for line + SECDED.
+			e.ParityHeld = true
+			h.Stat.ParityErrors++
+			h.Stat.FaultHeld++
+			h.maybeFinish(e)
+			return
+		case faults.CritEscaped:
+			// The corruption passed parity — the early word goes out
+			// wrong and SECDED flags it when the full line lands.
+			e.CritEscaped = true
+			h.Stat.FaultEscaped++
+		}
+	}
 	if !e.Store && !e.Prefetch && e.MissWord == e.CritWord {
 		h.Stat.CritServedFast++
 		h.Stat.CritLatency.Add(float64(int64(h.eng.Now()) - e.Born))
@@ -278,7 +336,9 @@ func (h *Hierarchy) onCrit(e *cache.Entry) {
 // line part at all (the critical channel carries it), so nothing is
 // deliverable here.
 func (h *Hierarchy) onReqWord(e *cache.Entry) {
-	if e.MissWord == e.CritWord {
+	if e.MissWord == e.CritWord && !e.NoCrit {
+		// Served by the critical channel — unless this is a degraded
+		// line-only fill, where the line part carries every word.
 		return
 	}
 	if !e.Store && !e.Prefetch {
@@ -287,8 +347,30 @@ func (h *Hierarchy) onReqWord(e *cache.Entry) {
 	h.wakeWaiters(e, func(w cache.Waiter) bool { return w.Word == e.MissWord })
 }
 
-// onLine handles completion of the line part.
+// onLine handles completion of the line part. With fault injection
+// active the line may need ECC work before it is usable: a SECDED
+// correction or a chipkill reconstruction delays readiness by the
+// modeled penalty.
 func (h *Hierarchy) onLine(e *cache.Entry) {
+	if h.inj != nil {
+		delay, out := h.inj.LineRead(h.eng.Now(), e.LineAddr, int(e.LineAddr%Channels))
+		if delay > 0 {
+			switch out {
+			case faults.LineCorrected:
+				h.Stat.SECDEDCorrected++
+			case faults.LineReconstructed:
+				h.Stat.Reconstructions++
+			}
+			h.eng.ScheduleEvent(delay, h.lrH, e)
+			return
+		}
+	}
+	h.lineReady(e)
+}
+
+// lineReady completes the line part once its data is usable (directly
+// from the bus, or after ECC correction/reconstruction).
+func (h *Hierarchy) lineReady(e *cache.Entry) {
 	e.LineArrived = true
 	if e.ParityHeld && !e.Store && !e.Prefetch && e.MissWord == e.CritWord {
 		// The withheld critical word is only usable now, after SECDED.

@@ -44,6 +44,7 @@ func (s *stubBackend) IssueWriteback(la uint64) bool {
 	s.wbs = append(s.wbs, la)
 	return true
 }
+func (s *stubBackend) DegradeCrit()           {}
 func (s *stubBackend) Groups() []ChannelGroup { return nil }
 
 func (s *stubBackend) setSink(k fillSink) { s.sink = k }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"hetsim/internal/dram"
+	"hetsim/internal/faults"
 )
 
 // TestConfigKeyCoversSystemConfig enforces by reflection that every
@@ -27,6 +28,7 @@ func TestConfigKeyCoversSystemConfig(t *testing.T) {
 		"PagePlacement":       {"PagePlacement"},
 		"HotPages":            {"HotPagesLen", "HotPagesDigest"},
 		"CritParityErrorRate": {"CritParityErrorRate"},
+		"Faults":              {"Faults"},
 		"PrivateCritCmdBus":   {"PrivateCritCmdBus"},
 		"WideCritRank":        {"WideCritRank"},
 		"TrackPerLine":        {"TrackPerLine"},
@@ -92,6 +94,11 @@ func TestConfigKeyDistinguishes(t *testing.T) {
 	add("PagePlacement", func(c *SystemConfig) { c.PagePlacement = true })
 	add("HotPages", func(c *SystemConfig) { c.HotPages = map[uint64]bool{7: true} })
 	add("CritParityErrorRate", func(c *SystemConfig) { c.CritParityErrorRate = 0.5 })
+	add("Faults.Rates", func(c *SystemConfig) { c.Faults.Crit.TransientBit = 1e-4 })
+	add("Faults.Seed", func(c *SystemConfig) { c.Faults.Seed = 9 })
+	add("Faults.Schedule", func(c *SystemConfig) {
+		c.Faults.Schedule = []faults.Event{{At: 10, Kind: faults.Flip, Target: faults.Crit, Channel: -1, Chip: -1}}
+	})
 	add("PrivateCritCmdBus", func(c *SystemConfig) { c.PrivateCritCmdBus = true })
 	add("WideCritRank", func(c *SystemConfig) { c.WideCritRank = true })
 	add("TrackPerLine", func(c *SystemConfig) { c.TrackPerLine = true })

@@ -179,6 +179,18 @@ type Results struct {
 	ParityErrors uint64
 	MergedMisses uint64
 	Writebacks   uint64
+
+	// Fault-injection outcomes over the measured window (internal/
+	// faults). Not part of the CSV schema: sweep output stays
+	// byte-identical for fault-free runs.
+	HeldWakes       uint64 // CPU wakes held for SECDED after dirty parity
+	CritEscapes     uint64 // corruptions that evaded per-byte parity
+	SECDEDCorrected uint64 // line fills delayed by SECDED correction
+	Reconstructions uint64 // line fills rebuilt via the chipkill parity chip
+	DegradedFills   uint64 // line-only fills after the crit DIMM died
+	// Degraded reports that the run ended with the critical-word DIMM
+	// declared dead (CWF disabled, line-only service).
+	Degraded bool
 }
 
 // groupSnap freezes one channel group's counters.
@@ -192,6 +204,8 @@ type snapshot struct {
 	cycles sim.Cycle
 
 	demand, served, merged, wb, parity uint64
+	held, escaped, corrected           uint64
+	recon, degraded                    uint64
 	critHist                           [8]uint64
 	critLatSum                         float64
 	critLatN                           int64
@@ -209,6 +223,9 @@ func (s *System) snap() snapshot {
 		cycles: now,
 		demand: st.DemandFills, served: st.CritServedFast,
 		merged: st.MergedMisses, wb: st.Writebacks, parity: st.ParityErrors,
+		held: st.FaultHeld, escaped: st.FaultEscaped,
+		corrected: st.SECDEDCorrected, recon: st.Reconstructions,
+		degraded:   st.DegradedFills,
 		critHist:   st.CritWordHist,
 		critLatSum: st.CritLatency.Sum(), critLatN: st.CritLatency.N(),
 	}
@@ -289,6 +306,13 @@ func (s *System) collect(start, end snapshot) Results {
 		MergedMisses: end.merged - start.merged,
 		Writebacks:   end.wb - start.wb,
 		ParityErrors: end.parity - start.parity,
+
+		HeldWakes:       end.held - start.held,
+		CritEscapes:     end.escaped - start.escaped,
+		SECDEDCorrected: end.corrected - start.corrected,
+		Reconstructions: end.recon - start.recon,
+		DegradedFills:   end.degraded - start.degraded,
+		Degraded:        s.Hier.degraded,
 	}
 	for _, c := range s.Cores {
 		ipc := c.IPC(elapsed)
@@ -398,8 +422,7 @@ func (s *System) drive(stop func() bool, maxCycles sim.Cycle) {
 			next = t
 		}
 		if next >= 1<<62-1 {
-			panic(fmt.Sprintf("core: deadlock at cycle %d: all cores blocked with no pending events (mshr=%d)",
-				now, s.Hier.MSHROccupancy()))
+			panic(s.deadlockReport(now))
 		}
 		if next <= now {
 			next = now + 1
@@ -407,6 +430,22 @@ func (s *System) drive(stop func() bool, maxCycles sim.Cycle) {
 		now = next
 	}
 	eng.RunUntil(maxCycles)
+}
+
+// deadlockReport diagnoses a no-progress state: every core blocked on a
+// memory response with an empty event queue means a wake was lost, and
+// the counters below say where to look. The panic is recovered into a
+// per-task error by the run harness (internal/runpool).
+func (s *System) deadlockReport(now sim.Cycle) string {
+	waiting := 0
+	for _, c := range s.Cores {
+		waiting += c.OutstandingMisses()
+	}
+	return fmt.Sprintf(
+		"core: deadlock at cycle %d: all cores blocked with no pending events "+
+			"(events queued=%d, mshr=%d/%d, outstanding load misses=%d, wb queue=%d, degraded=%v)",
+		now, s.Eng.Len(), s.Hier.MSHROccupancy(), MSHRCapacity, waiting,
+		len(s.Hier.wbQueue), s.Hier.degraded)
 }
 
 // RunPair measures the paper's throughput metric for one benchmark and

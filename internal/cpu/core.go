@@ -60,6 +60,21 @@ func DefaultConfig() Config {
 	return Config{ROBSize: 64, Width: 4, L1Latency: 1, L2Latency: 10}
 }
 
+// Validate rejects core parameters New would refuse, as a clean error
+// callers can surface before construction.
+func (c Config) Validate() error {
+	if c.ROBSize <= 0 {
+		return fmt.Errorf("cpu: non-positive ROB size %d", c.ROBSize)
+	}
+	if c.Width <= 0 {
+		return fmt.Errorf("cpu: non-positive dispatch width %d", c.Width)
+	}
+	if c.L1Latency < 0 || c.L2Latency < 0 {
+		return fmt.Errorf("cpu: negative cache latency (l1=%d l2=%d)", c.L1Latency, c.L2Latency)
+	}
+	return nil
+}
+
 // WaitForever is the wake time reported by a core that can make no
 // progress until a memory response arrives.
 const WaitForever = sim.Cycle(1<<62 - 1)
@@ -123,13 +138,18 @@ type Core struct {
 	wakeFns []func()
 
 	wakePending bool
-	Stat        Stats
+
+	// waitingMisses counts loads with a memory response outstanding —
+	// the watchdog's view of whether a silent hang is a lost wake.
+	waitingMisses int
+
+	Stat Stats
 }
 
 // New builds a core reading trace through port.
 func New(id int, cfg Config, trace Trace, port Port) *Core {
-	if cfg.ROBSize <= 0 || cfg.Width <= 0 {
-		panic("cpu: invalid core config")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	c := &Core{ID: id, Cfg: cfg, Port: port, trace: trace,
 		rob: make([]robEntry, cfg.ROBSize), lastLoad: noLoad}
@@ -289,6 +309,7 @@ func (c *Core) issueMem(now sim.Cycle, op MemOp) bool {
 		e.completeAt = now + c.Cfg.L2Latency
 	case AccessMiss:
 		e.waitingMem = true
+		c.waitingMisses++
 		c.Stat.LoadMisses++
 	default:
 		panic(fmt.Sprintf("cpu: unknown access status %d", status))
@@ -315,8 +336,13 @@ func (c *Core) wakeSlot(slot int) {
 	e.completeAt = 0 // data is here; retire eligibility is immediate
 	e.resolved = true
 	e.readyAt = 0
+	c.waitingMisses--
 	c.wakePending = true
 }
+
+// OutstandingMisses reports how many of this core's loads are waiting
+// on a memory response (diagnostic surface for the deadlock watchdog).
+func (c *Core) OutstandingMisses() int { return c.waitingMisses }
 
 // nextWake computes when the core next needs stepping.
 func (c *Core) nextWake(now sim.Cycle) sim.Cycle {

@@ -95,6 +95,23 @@ func (c Config) Unified() bool {
 	return c.Policy == ClosePage && c.Timing.TRCD == 0
 }
 
+// Validate rejects degenerate device descriptions that would otherwise
+// only surface as panics or divide-by-zero deep inside the timed model
+// (e.g. a zero-bank geometry wedging the address mapper, or a
+// zero-cycle bus letting time stand still).
+func (c Config) Validate() error {
+	g := c.Geom
+	if g.Banks <= 0 || g.Rows <= 0 || g.ColsPerRow <= 0 || g.DevicesPerRank <= 0 {
+		return fmt.Errorf("dram: degenerate geometry banks=%d rows=%d cols=%d devices=%d",
+			g.Banks, g.Rows, g.ColsPerRow, g.DevicesPerRank)
+	}
+	if c.Timing.BusCycle <= 0 || c.Timing.Burst <= 0 {
+		return fmt.Errorf("dram: non-positive bus timing (buscycle=%d burst=%d)",
+			c.Timing.BusCycle, c.Timing.Burst)
+	}
+	return nil
+}
+
 // Geometry gives the addressable shape of one rank on the channel. The
 // unit of a "column" here is whatever the channel transfers per access:
 // a 64-byte line on 64/72-bit channels, an 8-byte word on the x9

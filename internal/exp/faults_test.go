@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"hetsim/internal/core"
+	"hetsim/internal/faults"
+)
+
+// faultSweepConfigs builds a small sweep with an eventful fault
+// environment: uniform bit faults on both paths plus a scripted line
+// chip-kill, all under a fixed fault seed.
+func faultSweepConfigs(t *testing.T) []core.SystemConfig {
+	t.Helper()
+	fc, err := faults.Parse("crit.bit=1e-3; line.bit=1e-3; seed=11; @5000 chipkill line 1 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := core.RL(0)
+	rl.Faults = fc
+	rl.Name = "RL+faulty"
+	base := core.Baseline(0)
+	base.Faults = fc
+	base.Name = "DDR3+faulty"
+	return []core.SystemConfig{rl, base}
+}
+
+// runFaultSweep executes the faulty subset at the given worker count.
+func runFaultSweep(t *testing.T, workers int) map[string]core.Results {
+	t.Helper()
+	r := NewRunner(determinismOpts(workers))
+	cfgs := faultSweepConfigs(t)
+	r.Submit(cfgs...)
+	out := map[string]core.Results{}
+	for _, cfg := range cfgs {
+		for _, b := range r.Opts.Benchmarks {
+			res, err := r.Run(cfg, b)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", cfg.Name, b, err)
+			}
+			out[cfg.Name+"/"+b] = res
+		}
+	}
+	return out
+}
+
+// TestFaultInjectionDeterminism asserts that a fixed fault seed yields
+// byte-identical results at -j1 and -j8: injection decisions depend
+// only on (seed, address, cycle), never on host scheduling.
+func TestFaultInjectionDeterminism(t *testing.T) {
+	serial := runFaultSweep(t, 1)
+	parallel := runFaultSweep(t, 8)
+	if len(parallel) != len(serial) {
+		t.Fatalf("-j8 produced %d results, serial %d", len(parallel), len(serial))
+	}
+	sawFault := false
+	for k, want := range serial {
+		got, ok := parallel[k]
+		if !ok {
+			t.Fatalf("-j8 missing %s", k)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("-j8 diverged from serial on %s:\n got %+v\nwant %+v", k, got, want)
+		}
+		if want.HeldWakes > 0 || want.SECDEDCorrected > 0 || want.Reconstructions > 0 {
+			sawFault = true
+		}
+	}
+	if !sawFault {
+		t.Error("fault sweep exercised no fault machinery: all counters zero")
+	}
+}
+
+// TestRunnerFaultOverlay checks Options.Faults applies to configs that
+// carry no fault environment of their own, and never overrides one a
+// config already carries.
+func TestRunnerFaultOverlay(t *testing.T) {
+	opts := determinismOpts(1)
+	fc, err := faults.Parse("line.bit=1e-2; seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Faults = fc
+
+	plain := NewRunner(determinismOpts(1))
+	overlaid := NewRunner(opts)
+	pres, err := plain.Run(core.RL(0), "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ores, err := overlaid.Run(core.RL(0), "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ores.SECDEDCorrected == 0 {
+		t.Error("overlaid fault environment injected nothing")
+	}
+	if reflect.DeepEqual(pres, ores) {
+		t.Error("overlay did not change results")
+	}
+
+	// A config with its own environment keeps it: the run must match a
+	// runner with no overlay at all.
+	own := core.RL(0)
+	own.Faults, err = faults.Parse("line.bit=5e-2; seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	own.Name = "RL+own"
+	fromOverlaid, err := overlaid.Run(own, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromPlain, err := plain.Run(own, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromOverlaid, fromPlain) {
+		t.Error("overlay clobbered a config's own fault environment")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"hetsim/internal/core"
+	"hetsim/internal/faults"
 	"hetsim/internal/runpool"
 	"hetsim/internal/workload"
 )
@@ -30,6 +31,10 @@ type Options struct {
 	// Workers bounds parallel simulation runs: 0 = GOMAXPROCS,
 	// 1 = serial. Results are identical at any setting.
 	Workers int
+	// Faults is a fault environment applied to every run whose config
+	// does not carry its own (the -faults flag). The zero value injects
+	// nothing.
+	Faults faults.Config
 }
 
 // withDefaults normalizes options.
@@ -85,6 +90,9 @@ func (r *Runner) Workers() int { return r.pool.Workers() }
 func (r *Runner) Start(cfg core.SystemConfig, bench string) *runpool.Task[core.Results] {
 	cfg.NCores = r.Opts.NCores
 	cfg.Seed = r.Opts.Seed
+	if !cfg.Faults.Active() && r.Opts.Faults.Active() {
+		cfg.Faults = r.Opts.Faults
+	}
 	key := runKey{cfg.Key(), bench}
 	return r.pool.Submit(key, func() (core.Results, error) {
 		spec, err := workload.Get(bench)

@@ -1,0 +1,537 @@
+// Package faults is the deterministic fault-injection layer of the
+// simulator (ISSUE 3, paper §4.2.3). It decides, per DRAM read, whether
+// the returned data is corrupted — transient single-bit flips, stuck
+// bits pinned to an address, and whole-chip-kill events, each with
+// per-DIMM-class rates plus a scripted schedule for reproducible tests —
+// and it runs the *real* internal/ecc machinery over the injected
+// corruption so the paper's error-handling chain (per-byte parity gate
+// on the RLDRAM critical word, SECDED correction on the line DIMM,
+// chipkill reconstruction via the parity chip) is exercised, not
+// assumed.
+//
+// Everything is seed-driven off a splitmix64 stream private to one
+// simulated System, so runs are bit-for-bit reproducible at any worker
+// count. With all rates zero and an empty schedule the layer is inert
+// (New returns nil) and adds no work and no allocations to the read
+// path.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"hetsim/internal/ecc"
+	"hetsim/internal/sim"
+)
+
+// Timing penalties of the error-handling paths, in CPU cycles at the
+// 3.2 GHz master clock.
+const (
+	// SECDEDLatency is charged when the line DIMM's (72,64) decoder has
+	// to correct a single-bit error before the line is usable: one extra
+	// pass through the correction pipeline (~1.25ns).
+	SECDEDLatency = sim.Cycle(4)
+
+	// ReconstructLatency is charged when a word must be rebuilt from the
+	// surviving chips plus the chipkill parity chip: re-read of the full
+	// rank and an XOR reduction across nine devices (~11ns).
+	ReconstructLatency = sim.Cycle(36)
+)
+
+// Target selects which DIMM class a rate or scripted event applies to.
+type Target int
+
+// DIMM classes of the Figure 5b organization.
+const (
+	// Crit is the critical-word store: the x9 RLDRAM DIMM holding the
+	// placed word plus its per-byte parity.
+	Crit Target = iota
+	// Line is the line store: the low-power DIMMs holding words 1-7 and
+	// the SECDED codes (all words in non-split organizations).
+	Line
+)
+
+// String names the target.
+func (t Target) String() string {
+	switch t {
+	case Crit:
+		return "crit"
+	case Line:
+		return "line"
+	default:
+		return "unknown"
+	}
+}
+
+// Kind classifies a scripted fault event.
+type Kind int
+
+// Scripted event kinds.
+const (
+	// Flip arms one transient single-bit flip on the next read of the
+	// target (per channel for Line).
+	Flip Kind = iota
+	// ChipKill permanently kills one device: on Line, chip Chip of
+	// channel Channel (bytes reconstructed via the parity chip from then
+	// on); on Crit, the whole critical-word DIMM dies (same as DIMMDead).
+	ChipKill
+	// DIMMDead declares the critical-word DIMM dead: the backend
+	// degrades to line-DIMM-only service (CWF disabled, run continues).
+	DIMMDead
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Flip:
+		return "flip"
+	case ChipKill:
+		return "chipkill"
+	case DIMMDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scripted fault, applied when simulated time reaches At.
+type Event struct {
+	At     sim.Cycle
+	Kind   Kind
+	Target Target
+	// Channel is the line channel the event strikes (Line targets only;
+	// -1 for Crit).
+	Channel int
+	// Chip is the device index a ChipKill erases (Line targets only;
+	// -1 otherwise). Valid data chips are 0..ecc.ChipsPerRank-1.
+	Chip int
+}
+
+// Rates are the stochastic fault rates of one DIMM class.
+type Rates struct {
+	// TransientBit is the per-read probability of a transient
+	// single-bit (occasionally two-bit) flip in the returned word.
+	TransientBit float64
+	// StuckBit is the per-address probability that a line's stored word
+	// has a persistently stuck bit: every read of that address faults.
+	StuckBit float64
+	// ChipKill is the per-read probability of a whole-device failure.
+	// On the Line class one chip of the struck channel dies; on the
+	// Crit class the critical-word DIMM is declared dead.
+	ChipKill float64
+}
+
+// zero reports whether no stochastic faults are configured.
+func (r Rates) zero() bool {
+	return r.TransientBit == 0 && r.StuckBit == 0 && r.ChipKill == 0
+}
+
+func (r Rates) validate(class string) error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"bit", r.TransientBit}, {"stuck", r.StuckBit}, {"chipkill", r.ChipKill}} {
+		if p.v < 0 || p.v > 1 || p.v != p.v {
+			return fmt.Errorf("faults: %s.%s rate %v outside [0,1]", class, p.name, p.v)
+		}
+	}
+	return nil
+}
+
+// Config describes the fault environment of one simulated run. The zero
+// value injects nothing.
+type Config struct {
+	Crit Rates
+	Line Rates
+	// Seed drives the injection RNG stream (independent of the workload
+	// seed; two runs differing only in fault seed see different faults).
+	Seed uint64
+	// Schedule lists scripted events, applied when simulated time
+	// reaches each entry's At cycle.
+	Schedule []Event
+}
+
+// Active reports whether the configuration can inject anything.
+func (c Config) Active() bool {
+	return !c.Crit.zero() || !c.Line.zero() || len(c.Schedule) > 0
+}
+
+// Validate checks rates and scripted events. lineChannels bounds the
+// Channel field of Line events (pass 0 to skip the bound check).
+func (c Config) Validate(lineChannels int) error {
+	if err := c.Crit.validate("crit"); err != nil {
+		return err
+	}
+	if err := c.Line.validate("line"); err != nil {
+		return err
+	}
+	for i, ev := range c.Schedule {
+		if ev.At < 0 {
+			return fmt.Errorf("faults: schedule[%d] at negative cycle %d", i, ev.At)
+		}
+		switch ev.Kind {
+		case Flip, ChipKill, DIMMDead:
+		default:
+			return fmt.Errorf("faults: schedule[%d] has unknown kind %d", i, ev.Kind)
+		}
+		switch ev.Target {
+		case Crit:
+			// Crit events never address a channel or chip.
+		case Line:
+			if ev.Kind == DIMMDead {
+				return fmt.Errorf("faults: schedule[%d]: dead applies to the crit DIMM only", i)
+			}
+			if ev.Channel < 0 || (lineChannels > 0 && ev.Channel >= lineChannels) {
+				return fmt.Errorf("faults: schedule[%d] line channel %d out of range", i, ev.Channel)
+			}
+			if ev.Kind == ChipKill && (ev.Chip < 0 || ev.Chip >= ecc.ChipsPerRank) {
+				return fmt.Errorf("faults: schedule[%d] chip %d outside 0..%d", i, ev.Chip, ecc.ChipsPerRank-1)
+			}
+		default:
+			return fmt.Errorf("faults: schedule[%d] has unknown target %d", i, ev.Target)
+		}
+	}
+	return nil
+}
+
+// Key is a comparable identity of a Config, fit for memoization map
+// keys: the schedule is folded into an order-independent digest plus its
+// length, everything else is carried verbatim.
+type Key struct {
+	Crit, Line  Rates
+	Seed        uint64
+	SchedLen    int
+	SchedDigest uint64
+}
+
+// Key derives the comparable identity.
+func (c Config) Key() Key {
+	var d uint64
+	for _, ev := range c.Schedule {
+		x := uint64(ev.At)<<16 ^ uint64(ev.Kind)<<8 ^ uint64(ev.Target)<<4 ^
+			uint64(uint16(int16(ev.Channel)))<<32 ^ uint64(uint16(int16(ev.Chip)))<<48
+		d ^= splitmix64(x)
+	}
+	return Key{Crit: c.Crit, Line: c.Line, Seed: c.Seed,
+		SchedLen: len(c.Schedule), SchedDigest: d}
+}
+
+// Counts aggregates injection activity.
+type Counts struct {
+	// Injected is the total number of corrupted reads plus applied
+	// kill/dead events.
+	Injected uint64
+	// Held counts critical words withheld because the injected
+	// corruption dirtied the per-byte parity (the §4.2.3 hold path).
+	Held uint64
+	// Escaped counts critical-word corruptions that evaded per-byte
+	// parity (even flips within one byte); SECDED detects them when the
+	// full line lands.
+	Escaped uint64
+	// Corrected counts line words repaired by the SECDED decoder.
+	Corrected uint64
+	// Reconstructed counts line reads rebuilt through the chipkill
+	// parity chip.
+	Reconstructed uint64
+	// ChipKills counts whole-device failures applied (scripted or
+	// stochastic), including a critical-DIMM death.
+	ChipKills uint64
+}
+
+// CritOutcome classifies one critical-word read.
+type CritOutcome int
+
+// Critical-word read outcomes.
+const (
+	// CritClean: deliver early, parity is clean.
+	CritClean CritOutcome = iota
+	// CritHeld: parity is dirty — withhold the word until the line
+	// DIMM's SECDED code arrives and corrects (paper's fallback path).
+	CritHeld
+	// CritEscaped: the corruption evaded per-byte parity; the early
+	// word was forwarded wrong and SECDED flags it at line arrival.
+	CritEscaped
+)
+
+// LineOutcome classifies one line read.
+type LineOutcome int
+
+// Line read outcomes.
+const (
+	// LineClean: no fault.
+	LineClean LineOutcome = iota
+	// LineCorrected: SECDED corrected a single-bit error
+	// (SECDEDLatency extra cycles before the line is usable).
+	LineCorrected
+	// LineReconstructed: a dead chip's bytes were rebuilt via the
+	// chipkill parity chip (ReconstructLatency extra cycles).
+	LineReconstructed
+)
+
+// Injector is the per-System injection engine. It is not safe for
+// concurrent use; each simulated System owns one (single-threaded by
+// design, like the event engine).
+type Injector struct {
+	cfg Config
+	rng sim.RNG
+
+	sched []Event // sorted by At
+	si    int     // next unapplied schedule index
+
+	critDead     bool
+	pendingCrit  int   // armed one-shot crit flips
+	pendingLine  []int // armed one-shot line flips, per channel
+	killed       []int8
+	reconChecked []bool
+
+	counts Counts
+}
+
+// New builds an injector for a system with lineChannels line channels.
+// It returns nil when cfg injects nothing, so the caller's nil check is
+// the entire cost of an inactive fault layer.
+func New(cfg Config, lineChannels int) *Injector {
+	if !cfg.Active() {
+		return nil
+	}
+	if lineChannels <= 0 {
+		lineChannels = 1
+	}
+	in := &Injector{
+		cfg:          cfg,
+		rng:          *sim.NewRNG(cfg.Seed ^ 0xfa017),
+		sched:        append([]Event(nil), cfg.Schedule...),
+		pendingLine:  make([]int, lineChannels),
+		killed:       make([]int8, lineChannels),
+		reconChecked: make([]bool, lineChannels),
+	}
+	for i := range in.killed {
+		in.killed[i] = -1
+	}
+	sort.SliceStable(in.sched, func(i, j int) bool { return in.sched[i].At < in.sched[j].At })
+	return in
+}
+
+// Counts returns a snapshot of the injection counters.
+func (in *Injector) Counts() Counts { return in.counts }
+
+// advance applies every scripted event whose time has come.
+func (in *Injector) advance(now sim.Cycle) {
+	for in.si < len(in.sched) && in.sched[in.si].At <= now {
+		ev := in.sched[in.si]
+		in.si++
+		switch {
+		case ev.Target == Crit && (ev.Kind == DIMMDead || ev.Kind == ChipKill):
+			if !in.critDead {
+				in.critDead = true
+				in.counts.ChipKills++
+				in.counts.Injected++
+			}
+		case ev.Target == Crit && ev.Kind == Flip:
+			in.pendingCrit++
+		case ev.Kind == Flip:
+			in.pendingLine[in.chIdx(ev.Channel)]++
+		case ev.Kind == ChipKill:
+			ch := in.chIdx(ev.Channel)
+			if in.killed[ch] < 0 {
+				in.killed[ch] = int8(ev.Chip)
+				in.counts.ChipKills++
+				in.counts.Injected++
+			}
+		}
+	}
+}
+
+// chIdx clamps a channel index into range (Validate rejects these up
+// front; the clamp keeps a hand-built Config from corrupting memory).
+func (in *Injector) chIdx(ch int) int {
+	if ch < 0 || ch >= len(in.killed) {
+		return 0
+	}
+	return ch
+}
+
+// CritDead reports whether the critical-word DIMM has been declared
+// dead at time now (scripted DIMMDead/ChipKill, or a stochastic crit
+// chip-kill applied on an earlier read).
+func (in *Injector) CritDead(now sim.Cycle) bool {
+	in.advance(now)
+	return in.critDead
+}
+
+// wordFor derives the deterministic "stored" data word of a line: data
+// values are not simulated through DRAM, so the injector reconstructs a
+// reproducible word to corrupt and run the real ECC machinery over.
+func (in *Injector) wordFor(la uint64) uint64 {
+	return splitmix64(la ^ in.cfg.Seed ^ 0x5eeded)
+}
+
+// stuckAt reports whether an address carries a persistent stuck bit
+// under rate: a pure hash decision, so it is stable across reads and
+// costs no state.
+func (in *Injector) stuckAt(la uint64, target Target, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	h := splitmix64(la ^ in.cfg.Seed ^ (uint64(target)+1)*0x57cc1)
+	return float64(h>>11)/(1<<53) < rate
+}
+
+// burstDenominator: 1-in-16 transient crit faults flip a second bit of
+// the same byte, modelling the burst faults that evade per-byte parity.
+const burstDenominator = 16
+
+// CritRead decides the fate of one critical-word read of line la at
+// time now. A CritHeld outcome means the per-byte parity check failed
+// and the consumer must wait for the line DIMM's SECDED-corrected copy;
+// CritEscaped means the corruption passed parity (SECDED detects it
+// when the line lands).
+func (in *Injector) CritRead(now sim.Cycle, la uint64) CritOutcome {
+	in.advance(now)
+	if in.critDead {
+		// The DIMM died under this in-flight read; the degrade path
+		// accounts for it, the read itself is not separately corrupted.
+		return CritClean
+	}
+	if p := in.cfg.Crit.ChipKill; p > 0 && in.rng.Bool(p) {
+		// Whole critical-word device failure: this read is garbage and
+		// the DIMM is dead from here on (backend degrades).
+		in.critDead = true
+		in.counts.ChipKills++
+		in.counts.Injected++
+		in.counts.Held++
+		return CritHeld
+	}
+	fault := false
+	if in.pendingCrit > 0 {
+		in.pendingCrit--
+		fault = true
+	}
+	if !fault && in.stuckAt(la, Crit, in.cfg.Crit.StuckBit) {
+		fault = true
+	}
+	if !fault {
+		if p := in.cfg.Crit.TransientBit; p > 0 && in.rng.Bool(p) {
+			fault = true
+		}
+	}
+	if !fault {
+		return CritClean
+	}
+	in.counts.Injected++
+
+	// Reconstruct the stored word and its per-byte parity, corrupt it,
+	// and let the real §4.2.3 check chain classify the damage.
+	word := in.wordFor(la)
+	parity := ecc.ByteParity(word)
+	bit := int(in.rng.Uint64() & 63)
+	bad := word ^ (1 << uint(bit))
+	if in.rng.Intn(burstDenominator) == 0 {
+		// Second flip within the same byte: per-byte parity is blind to
+		// an even number of flips in one byte.
+		base := bit &^ 7
+		second := base + (bit-base+1+in.rng.Intn(7))%8
+		bad ^= 1 << uint(second)
+	}
+	if !ecc.ParityOK(bad, parity) {
+		in.counts.Held++
+		return CritHeld
+	}
+	// Evaded parity. The full line carries a SECDED code for this word;
+	// prove the decoder actually flags the corruption (multi-bit errors
+	// are detected, not miscorrected — the paper's fail-stop property).
+	if _, res := ecc.Decode(bad, ecc.Encode(word)); res == ecc.OK {
+		panic("faults: SECDED decoded an injected multi-bit corruption as clean")
+	}
+	in.counts.Escaped++
+	return CritEscaped
+}
+
+// LineRead decides the fate of one line read of la on line channel ch,
+// returning the extra latency (0 when clean) before the line is usable
+// and the classification.
+func (in *Injector) LineRead(now sim.Cycle, la uint64, ch int) (sim.Cycle, LineOutcome) {
+	in.advance(now)
+	ch = in.chIdx(ch)
+	if in.killed[ch] < 0 {
+		if p := in.cfg.Line.ChipKill; p > 0 && in.rng.Bool(p) {
+			in.killed[ch] = int8(in.rng.Intn(ecc.ChipsPerRank))
+			in.counts.ChipKills++
+			in.counts.Injected++
+		}
+	}
+	if k := in.killed[ch]; k >= 0 {
+		if !in.reconChecked[ch] {
+			// Run the full erasure-decode once per killed channel to
+			// prove the modelled recovery actually works; later reads
+			// on the channel pay the latency without redoing the math.
+			in.verifyReconstruction(la, int(k))
+			in.reconChecked[ch] = true
+		}
+		in.counts.Reconstructed++
+		in.counts.Injected++
+		return ReconstructLatency, LineReconstructed
+	}
+	fault := false
+	if in.pendingLine[ch] > 0 {
+		in.pendingLine[ch]--
+		fault = true
+	}
+	if !fault && in.stuckAt(la, Line, in.cfg.Line.StuckBit) {
+		fault = true
+	}
+	if !fault {
+		if p := in.cfg.Line.TransientBit; p > 0 && in.rng.Bool(p) {
+			fault = true
+		}
+	}
+	if !fault {
+		return 0, LineClean
+	}
+	in.counts.Injected++
+
+	// Single-bit error through the real (72,64) SECDED decoder: it must
+	// come back corrected to the stored word.
+	word := in.wordFor(la ^ 0x11e)
+	check := ecc.Encode(word)
+	bad := word ^ (1 << (in.rng.Uint64() & 63))
+	fixed, res := ecc.Decode(bad, check)
+	if res != ecc.CorrectedSingle || fixed != word {
+		panic("faults: SECDED failed to correct an injected single-bit error")
+	}
+	in.counts.Corrected++
+	return SECDEDLatency, LineCorrected
+}
+
+// verifyReconstruction lays a deterministic line across chips, erases
+// the dead device with real garbage, and runs the full
+// ecc.RecoverChipkill flow; any mismatch is a model bug worth crashing
+// the run over (the runner recovers it into a per-task error).
+func (in *Injector) verifyReconstruction(la uint64, chip int) {
+	var words [8]uint64
+	var check [8]uint8
+	for w := range words {
+		words[w] = splitmix64(la ^ in.cfg.Seed ^ uint64(w)*0x9e37)
+		check[w] = ecc.Encode(words[w])
+	}
+	l := ecc.EncodeChipkill(words)
+	if err := l.KillChip(chip); err != nil {
+		panic(fmt.Sprintf("faults: %v", err))
+	}
+	got, err := ecc.RecoverChipkill(l, check)
+	if err != nil {
+		panic(fmt.Sprintf("faults: chipkill reconstruction failed: %v", err))
+	}
+	if got != words {
+		panic("faults: chipkill reconstruction returned wrong data")
+	}
+}
+
+// splitmix64 is the standard finalizer mix (identical stream to the
+// sim.RNG step function).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse hammers the -faults spec parser: no input may panic it, and
+// any input it accepts must survive the canonical round trip
+// Parse(Parse(s).String()) unchanged.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"crit.bit=1e-4",
+		"crit.bit=1e-4; line.bit=1e-4; seed=7",
+		"crit.stuck=1e-6; line.chipkill=1e-9",
+		"@1000 flip crit",
+		"@1000 flip line 2; @2000 chipkill line 2 5; @3000 dead crit",
+		"line.bit=0.5; seed=3; @10 flip crit",
+		"@10 chipkill line 0 0;;;",
+		"  crit.bit = 0.25 ;\n line.stuck=1 ",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(0); verr != nil {
+			t.Fatalf("Parse(%q) accepted a config Validate rejects: %v", s, verr)
+		}
+		canon := c.String()
+		c2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, s, err)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatalf("round trip of %q via %q: %+v != %+v", s, canon, c, c2)
+		}
+		if c.Key() != c2.Key() {
+			t.Fatalf("round trip of %q changed the memo key", s)
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hetsim/internal/sim"
+)
+
+// Parse builds a Config from the compact command-line fault spec used
+// by the -faults flag. A spec is a list of directives separated by ';'
+// (or newlines):
+//
+//	crit.bit=1e-4        per-read transient bit-flip rate, critical DIMM
+//	crit.stuck=1e-6      per-address stuck-bit rate, critical DIMM
+//	crit.chipkill=1e-9   per-read whole-DIMM kill rate, critical DIMM
+//	line.bit=1e-4        per-read transient bit-flip rate, line DIMMs
+//	line.stuck=1e-6      per-address stuck-bit rate, line DIMMs
+//	line.chipkill=1e-9   per-read chip-kill rate, line DIMMs
+//	seed=42              fault RNG seed
+//	@1000 flip crit      scripted: flip the next crit read at cycle 1000
+//	@1000 flip line 2    scripted: flip the next read on line channel 2
+//	@1000 chipkill line 2 5   scripted: kill chip 5 of line channel 2
+//	@1000 dead crit      scripted: declare the critical DIMM dead
+//
+// Whitespace around tokens is ignored. The empty string parses to the
+// inert zero Config.
+func Parse(s string) (Config, error) {
+	var c Config
+	for _, raw := range strings.FieldsFunc(s, func(r rune) bool { return r == ';' || r == '\n' }) {
+		d := strings.TrimSpace(raw)
+		if d == "" {
+			continue
+		}
+		if strings.HasPrefix(d, "@") {
+			ev, err := parseEvent(d)
+			if err != nil {
+				return Config{}, err
+			}
+			c.Schedule = append(c.Schedule, ev)
+			continue
+		}
+		k, v, ok := strings.Cut(d, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faults: directive %q is neither key=value nor @cycle event", d)
+		}
+		k = strings.TrimSpace(k)
+		v = strings.TrimSpace(v)
+		if k == "seed" {
+			n, err := strconv.ParseUint(v, 0, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faults: bad seed %q: %v", v, err)
+			}
+			c.Seed = n
+			continue
+		}
+		rate, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return Config{}, fmt.Errorf("faults: bad rate %q in %q: %v", v, d, err)
+		}
+		var dst *float64
+		switch k {
+		case "crit.bit":
+			dst = &c.Crit.TransientBit
+		case "crit.stuck":
+			dst = &c.Crit.StuckBit
+		case "crit.chipkill":
+			dst = &c.Crit.ChipKill
+		case "line.bit":
+			dst = &c.Line.TransientBit
+		case "line.stuck":
+			dst = &c.Line.StuckBit
+		case "line.chipkill":
+			dst = &c.Line.ChipKill
+		default:
+			return Config{}, fmt.Errorf("faults: unknown directive %q", k)
+		}
+		*dst = rate
+	}
+	if err := c.Validate(0); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+func parseEvent(d string) (Event, error) {
+	f := strings.Fields(d)
+	if len(f) < 3 {
+		return Event{}, fmt.Errorf("faults: event %q needs at least \"@cycle kind target\"", d)
+	}
+	at, err := strconv.ParseInt(strings.TrimPrefix(f[0], "@"), 10, 64)
+	if err != nil || at < 0 {
+		return Event{}, fmt.Errorf("faults: bad event cycle %q", f[0])
+	}
+	ev := Event{At: sim.Cycle(at), Channel: -1, Chip: -1}
+
+	switch f[1] {
+	case "flip":
+		ev.Kind = Flip
+	case "chipkill":
+		ev.Kind = ChipKill
+	case "dead":
+		ev.Kind = DIMMDead
+	default:
+		return Event{}, fmt.Errorf("faults: unknown event kind %q in %q", f[1], d)
+	}
+	switch f[2] {
+	case "crit":
+		ev.Target = Crit
+	case "line":
+		ev.Target = Line
+	default:
+		return Event{}, fmt.Errorf("faults: unknown event target %q in %q", f[2], d)
+	}
+
+	args := f[3:]
+	need := 0
+	if ev.Target == Line {
+		need = 1 // channel
+		if ev.Kind == ChipKill {
+			need = 2 // channel + chip
+		}
+		if ev.Kind == DIMMDead {
+			return Event{}, fmt.Errorf("faults: %q: dead applies to the crit DIMM only", d)
+		}
+	}
+	if len(args) != need {
+		return Event{}, fmt.Errorf("faults: event %q wants %d argument(s), got %d", d, need, len(args))
+	}
+	if need >= 1 {
+		ch, err := strconv.Atoi(args[0])
+		if err != nil || ch < 0 {
+			return Event{}, fmt.Errorf("faults: bad channel %q in %q", args[0], d)
+		}
+		ev.Channel = ch
+	}
+	if need >= 2 {
+		chip, err := strconv.Atoi(args[1])
+		if err != nil || chip < 0 {
+			return Event{}, fmt.Errorf("faults: bad chip %q in %q", args[1], d)
+		}
+		ev.Chip = chip
+	}
+	return ev, nil
+}
+
+// String renders the canonical spec form: Parse(c.String()) returns an
+// identical Config (the round-trip property the fuzz test enforces).
+func (c Config) String() string {
+	var parts []string
+	add := func(k string, v float64) {
+		if v != 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	add("crit.bit", c.Crit.TransientBit)
+	add("crit.stuck", c.Crit.StuckBit)
+	add("crit.chipkill", c.Crit.ChipKill)
+	add("line.bit", c.Line.TransientBit)
+	add("line.stuck", c.Line.StuckBit)
+	add("line.chipkill", c.Line.ChipKill)
+	if c.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatUint(c.Seed, 10))
+	}
+	for _, ev := range c.Schedule {
+		s := fmt.Sprintf("@%d %s %s", ev.At, ev.Kind, ev.Target)
+		if ev.Target == Line {
+			s += fmt.Sprintf(" %d", ev.Channel)
+			if ev.Kind == ChipKill {
+				s += fmt.Sprintf(" %d", ev.Chip)
+			}
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, "; ")
+}

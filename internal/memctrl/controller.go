@@ -1,6 +1,8 @@
 package memctrl
 
 import (
+	"fmt"
+
 	"hetsim/internal/dram"
 	"hetsim/internal/sim"
 	"hetsim/internal/stats"
@@ -163,8 +165,27 @@ func (d completeDispatch) OnEvent(arg any) {
 	}
 }
 
+// Validate rejects controller parameters that would wedge the queueing
+// model (empty queues that can never accept, or drain watermarks the
+// write queue can never reach).
+func (c Config) Validate() error {
+	if c.ReadQueueSize <= 0 || c.WriteQueueSize <= 0 {
+		return fmt.Errorf("memctrl: non-positive queue size (read=%d write=%d)",
+			c.ReadQueueSize, c.WriteQueueSize)
+	}
+	if c.HighWatermark <= 0 || c.LowWatermark < 0 ||
+		c.LowWatermark >= c.HighWatermark || c.HighWatermark > c.WriteQueueSize {
+		return fmt.Errorf("memctrl: bad write-drain watermarks low=%d high=%d (write queue %d)",
+			c.LowWatermark, c.HighWatermark, c.WriteQueueSize)
+	}
+	return nil
+}
+
 // New builds a controller over ch.
 func New(eng *sim.Engine, ch *dram.Channel, cfg Config) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	c := &Controller{
 		Eng: eng, Ch: ch, Cfg: cfg,
 		Map: MapperFor(ch.Cfg, ch.Ranks()),

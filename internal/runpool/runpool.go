@@ -9,7 +9,9 @@
 package runpool
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -46,6 +48,9 @@ type Stats struct {
 	Deduped int
 	// Executed is the number of jobs whose function has finished.
 	Executed int
+	// Panicked is the number of jobs that panicked; each is surfaced as
+	// that job's error while sibling jobs run to completion.
+	Panicked int
 }
 
 // Pool runs keyed jobs on at most Workers goroutines.
@@ -92,13 +97,29 @@ func (p *Pool[K, V]) Submit(key K, fn func() (V, error)) *Task[V] {
 	go func() {
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
-		t.val, t.err = fn()
+		t.val, t.err = p.run(fn)
 		p.mu.Lock()
 		p.stats.Executed++
 		p.mu.Unlock()
 		close(t.done)
 	}()
 	return t
+}
+
+// run executes fn, recovering a panic into the task's error. One
+// crashing (config, benchmark) pair must fail its own sweep entry, not
+// take down the process and every sibling run with it; the stack text
+// is preserved so the crash stays diagnosable.
+func (p *Pool[K, V]) run(fn func() (V, error)) (val V, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runpool: task panicked: %v\n%s", r, debug.Stack())
+			p.mu.Lock()
+			p.stats.Panicked++
+			p.mu.Unlock()
+		}
+	}()
+	return fn()
 }
 
 // Do is Submit followed by Wait: it blocks until the keyed job (this

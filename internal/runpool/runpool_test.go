@@ -2,6 +2,7 @@ package runpool
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -112,6 +113,48 @@ func TestErrorPropagates(t *testing.T) {
 	// The error is memoized like any result.
 	if _, err := p.Do("e", func() (int, error) { return 7, nil }); !errors.Is(err, boom) {
 		t.Fatalf("resubmit err = %v, want memoized boom", err)
+	}
+}
+
+func TestPanicFailsOnlyItsOwnTask(t *testing.T) {
+	p := New[int, int](2)
+	const n = 8
+	const bad = 3
+	tasks := make([]*Task[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = p.Submit(i, func() (int, error) {
+			if i == bad {
+				panic("injected crash")
+			}
+			return i * 10, nil
+		})
+	}
+	for i, task := range tasks {
+		v, err := task.Wait()
+		if i == bad {
+			if err == nil {
+				t.Fatal("panicking task reported no error")
+			}
+			if !strings.Contains(err.Error(), "injected crash") {
+				t.Fatalf("panic value missing from error: %v", err)
+			}
+			if !strings.Contains(err.Error(), "runpool_test.go") {
+				t.Fatalf("stack text missing from error: %v", err)
+			}
+			continue
+		}
+		if err != nil || v != i*10 {
+			t.Fatalf("sibling task %d = (%d, %v), want (%d, nil)", i, v, err, i*10)
+		}
+	}
+	st := p.Stats()
+	if st.Panicked != 1 || st.Executed != n {
+		t.Fatalf("stats = %+v, want Panicked=1 Executed=%d", st, n)
+	}
+	// The panic error is memoized like any other error.
+	if _, err := p.Do(bad, func() (int, error) { return 1, nil }); err == nil {
+		t.Fatal("resubmitted key lost its memoized panic error")
 	}
 }
 

@@ -14,6 +14,8 @@
 // preallocated handler object instead of a fresh closure per event.
 package sim
 
+import "fmt"
+
 // Cycle is a point in simulated time, measured in CPU cycles.
 type Cycle int64
 
@@ -172,6 +174,9 @@ func (e *Engine) ScheduleEventAt(when Cycle, h EventHandler, arg any) {
 // Pending reports whether any events remain.
 func (e *Engine) Pending() bool { return len(e.pq) > 0 }
 
+// Len reports the number of queued events (diagnostics).
+func (e *Engine) Len() int { return len(e.pq) }
+
 // PeekNext returns the time of the next event; ok is false if none remain.
 func (e *Engine) PeekNext() (when Cycle, ok bool) {
 	if len(e.pq) == 0 {
@@ -180,19 +185,34 @@ func (e *Engine) PeekNext() (when Cycle, ok bool) {
 	return e.pq[0].when, true
 }
 
+// sameCycleEventLimit is the no-progress watchdog threshold: this many
+// events executing without simulated time advancing means a handler is
+// rescheduling itself at zero delay forever. A real cycle never comes
+// close (the busiest cycles run a few events per controller), so the
+// limit only trips on genuine livelock — turning a silent hang into a
+// diagnosable panic the run harness can recover into an error.
+const sameCycleEventLimit = 1 << 20
+
 // RunUntil executes events in order until the queue is empty or the next
 // event lies strictly beyond end. The clock finishes at min(end, last
 // event time ≥ now). It returns the number of events executed.
 func (e *Engine) RunUntil(end Cycle) uint64 {
 	var n uint64
+	var burst int
 	for len(e.pq) > 0 && e.pq[0].when <= end {
 		ev := e.pop()
 		if ev.when > e.now {
 			e.now = ev.when
+			burst = 0
 		}
 		ev.h.OnEvent(ev.arg)
 		n++
 		e.fired++
+		if burst++; burst > sameCycleEventLimit {
+			panic(fmt.Sprintf(
+				"sim: watchdog: %d events executed at cycle %d without time advancing (queue=%d) — a handler is rescheduling itself at zero delay",
+				burst, e.now, len(e.pq)))
+		}
 	}
 	if e.now < end {
 		e.now = end
