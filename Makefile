@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz faults bench bench-json profile verify
+.PHONY: build vet test race fuzz faults bench bench-json bench-telemetry profile verify
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,13 @@ bench-json:
 	  $(GO) test -bench 'BenchmarkHierarchyReadPath' -benchmem -run '^$$' ./internal/core/ && \
 	  $(GO) test -bench 'BenchmarkSimulatorSpeed' -benchmem -benchtime 5x -run '^$$' . ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_kernel.json
+
+# Telemetry overhead baseline as committed JSON: the same run with the
+# epoch sampler off and at two intervals. The on-vs-off ns/op ratio is
+# the sampling cost; budget < 3% at the default 10k-cycle interval.
+bench-telemetry:
+	$(GO) test -bench 'BenchmarkTelemetry' -benchmem -benchtime 20x -run '^$$' . \
+		| $(GO) run ./cmd/benchjson > BENCH_telemetry.json
 
 # CPU + allocation profiles of a representative experiment run.
 # Inspect with: go tool pprof cpu.pprof / go tool pprof mem.pprof

@@ -17,7 +17,11 @@ const allocBudget = 6000
 
 // TestAllocationBudget pins the simulator's total allocation count for
 // a fixed run. It guards the zero-allocation event kernel: monomorphic
-// heap, pooled requests/MSHR entries, and preallocated handlers.
+// heap, pooled requests/MSHR entries, and preallocated handlers. The
+// run samples telemetry epochs every 10k cycles, so the budget also
+// covers the registry snapshot path and the in-memory epoch sink —
+// metric registration happens at construction and sampling writes into
+// preallocated rows, so an active sampler must fit the same ceiling.
 func TestAllocationBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-system run; skipped in -short mode")
@@ -27,9 +31,13 @@ func TestAllocationBudget(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := sys.Run(hetsim.Scale{WarmupReads: 500, MeasureReads: 5000, MaxCycles: 50_000_000})
+		res := sys.Run(hetsim.Scale{WarmupReads: 500, MeasureReads: 5000,
+			MaxCycles: 50_000_000, EpochInterval: 10_000})
 		if res.DemandReads < 5000 {
 			t.Fatalf("run too short: %d reads", res.DemandReads)
+		}
+		if res.Epochs == nil || res.Epochs.NumRows() == 0 {
+			t.Fatal("epoch sampler produced no rows")
 		}
 	})
 	if avg > allocBudget {

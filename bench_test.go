@@ -18,6 +18,7 @@ import (
 	"hetsim"
 	"hetsim/internal/core"
 	"hetsim/internal/exp"
+	"hetsim/internal/sim"
 )
 
 // benchSubset is a representative subset spanning the three access
@@ -310,6 +311,38 @@ func BenchmarkFutureHMC(b *testing.B) {
 		}
 		b.ReportMetric((res.MeanHMC-1)*100, "%hmc-gain")
 	}
+}
+
+// BenchmarkTelemetry measures the cost of the epoch sampler against
+// the same run with telemetry off: the "off" and "on" sub-benchmarks
+// differ only in Scale.EpochInterval, so the ns/op ratio is the
+// sampling overhead (recorded in BENCH_telemetry.json; budget < 3%).
+func BenchmarkTelemetry(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-system benchmark; skipped in -short mode")
+	}
+	run := func(b *testing.B, interval int64) {
+		b.ReportAllocs()
+		var reads, epochs uint64
+		for i := 0; i < b.N; i++ {
+			sys, err := hetsim.NewSystem(hetsim.RL(8), "libquantum")
+			if err != nil {
+				b.Fatal(err)
+			}
+			scale := hetsim.Scale{WarmupReads: 500, MeasureReads: 5000, MaxCycles: 50_000_000}
+			scale.EpochInterval = sim.Cycle(interval)
+			res := sys.Run(scale)
+			reads += res.DemandReads
+			if res.Epochs != nil {
+				epochs += uint64(res.Epochs.NumRows())
+			}
+		}
+		b.ReportMetric(float64(reads)/b.Elapsed().Seconds(), "reads/sec")
+		b.ReportMetric(float64(epochs)/float64(b.N), "epochs")
+	}
+	b.Run("off", func(b *testing.B) { run(b, 0) })
+	b.Run("on-10k", func(b *testing.B) { run(b, 10_000) })
+	b.Run("on-1k", func(b *testing.B) { run(b, 1_000) })
 }
 
 // BenchmarkSimulatorSpeed measures raw simulation throughput for

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"hetsim"
 	"hetsim/internal/exp"
 	"hetsim/internal/profiling"
+	"hetsim/internal/sim"
 )
 
 func main() {
@@ -35,6 +37,9 @@ func main() {
 	faultSpec := flag.String("faults", "", `fault environment applied to every run, e.g. "crit.bit=1e-4; line.bit=1e-4; @1000 chipkill line 0 3"`)
 	faultSeed := flag.Uint64("fault-seed", 0, "override the fault-injection RNG seed (with -faults)")
 	verbose := flag.Bool("v", false, "log each run")
+	epochInterval := flag.Int64("epoch-interval", 0, "sample telemetry every N cycles of each measured window (0 = off)")
+	epochCSV := flag.String("epoch-csv", "", "write the per-epoch time-series as CSV to this file (needs -epoch-interval)")
+	epochJSONL := flag.String("epoch-jsonl", "", "write the per-epoch time-series as JSON lines to this file (needs -epoch-interval)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -65,6 +70,11 @@ func main() {
 		scale.WarmupReads = *measure / 10
 		scale.MaxCycles = 1 << 40
 	}
+	if (*epochCSV != "" || *epochJSONL != "") && *epochInterval <= 0 {
+		fmt.Fprintln(os.Stderr, "experiments: -epoch-csv/-epoch-jsonl need -epoch-interval > 0")
+		os.Exit(2)
+	}
+	scale.EpochInterval = sim.Cycle(*epochInterval)
 	opts := exp.Options{Scale: scale, NCores: *cores, Seed: *seed, Workers: *workers}
 	if *faultSpec != "" {
 		fc, err := hetsim.ParseFaults(*faultSpec)
@@ -321,7 +331,33 @@ func main() {
 			fmt.Println(s)
 		}
 	}
+	if *epochCSV != "" {
+		if err := writeEpochs(*epochCSV, r.WriteEpochCSV); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	if *epochJSONL != "" {
+		if err := writeEpochs(*epochJSONL, r.WriteEpochJSONL); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
 	st := r.Stats()
 	fmt.Fprintf(os.Stderr, "experiments: %d runs (%d deduped) on %d workers in %.1fs\n",
 		st.Executed, st.Deduped, r.Workers(), time.Since(start).Seconds())
+}
+
+// writeEpochs dumps the runner's recorded epoch series to a file.
+func writeEpochs(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

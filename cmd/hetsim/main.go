@@ -10,12 +10,15 @@
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"hetsim"
+	"hetsim/internal/sim"
 	"hetsim/internal/trace"
 )
 
@@ -76,6 +79,9 @@ func main() {
 	pair := flag.Bool("pair", false, "also run the stand-alone reference and report weighted speedup")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	traceFile := flag.String("trace", "", "write a CSV fill trace to this file")
+	epochInterval := flag.Int64("epoch-interval", 0, "sample telemetry every N cycles of the measured window (0 = off)")
+	epochCSV := flag.String("epoch-csv", "", "stream the per-epoch time-series as CSV to this file (needs -epoch-interval)")
+	epochJSONL := flag.String("epoch-jsonl", "", "stream the per-epoch time-series as JSON lines to this file (needs -epoch-interval)")
 	flag.Parse()
 
 	if *list {
@@ -119,14 +125,83 @@ func main() {
 		}()
 	}
 
+	if (*epochCSV != "" || *epochJSONL != "") && *epochInterval <= 0 {
+		fmt.Fprintln(os.Stderr, "hetsim: -epoch-csv/-epoch-jsonl need -epoch-interval > 0")
+		os.Exit(2)
+	}
+	scale.EpochInterval = sim.Cycle(*epochInterval)
+	// The streaming sinks attach to the shared system; with -pair the
+	// alone-reference runs never sample (see core.RunPair).
+	var epochFiles []*os.File
+	openSink := func(path string, mk func(io.Writer) hetsim.EpochSink) hetsim.EpochSink {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hetsim:", err)
+			os.Exit(1)
+		}
+		epochFiles = append(epochFiles, f)
+		return mk(f)
+	}
+
 	var res hetsim.Results
 	if *pair {
+		// RunPair builds its systems internally; write the recorded
+		// series after the fact instead of streaming.
 		res, err = hetsim.RunPair(cfg, *bench, scale)
+		if err == nil && res.Epochs != nil {
+			if *epochCSV != "" {
+				f, ferr := os.Create(*epochCSV)
+				if ferr == nil {
+					cw := csv.NewWriter(f)
+					ferr = res.Epochs.WriteCSV(cw, true, nil, nil)
+					cw.Flush()
+					if ferr == nil {
+						ferr = cw.Error()
+					}
+					if cerr := f.Close(); ferr == nil {
+						ferr = cerr
+					}
+				}
+				if ferr != nil {
+					fmt.Fprintln(os.Stderr, "hetsim: epoch-csv:", ferr)
+					os.Exit(1)
+				}
+			}
+			if *epochJSONL != "" {
+				f, ferr := os.Create(*epochJSONL)
+				if ferr == nil {
+					ferr = res.Epochs.WriteJSONL(f, nil, nil)
+					if cerr := f.Close(); ferr == nil {
+						ferr = cerr
+					}
+				}
+				if ferr != nil {
+					fmt.Fprintln(os.Stderr, "hetsim: epoch-jsonl:", ferr)
+					os.Exit(1)
+				}
+			}
+		}
 	} else {
 		var sys *hetsim.System
 		sys, err = hetsim.NewSystem(cfg, *bench)
 		if err == nil {
+			if *epochCSV != "" {
+				sys.AddEpochSink(openSink(*epochCSV, hetsim.NewEpochCSVSink))
+			}
+			if *epochJSONL != "" {
+				sys.AddEpochSink(openSink(*epochJSONL, hetsim.NewEpochJSONLSink))
+			}
 			res = sys.Run(scale)
+			if serr := sys.EpochSinkError(); serr != nil {
+				fmt.Fprintln(os.Stderr, "hetsim: epoch sink:", serr)
+				os.Exit(1)
+			}
+			for _, f := range epochFiles {
+				if cerr := f.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "hetsim: epoch sink:", cerr)
+					os.Exit(1)
+				}
+			}
 		}
 	}
 	if err != nil {

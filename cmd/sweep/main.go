@@ -24,6 +24,7 @@ import (
 	"hetsim"
 	"hetsim/internal/profiling"
 	"hetsim/internal/runpool"
+	"hetsim/internal/sim"
 )
 
 func main() {
@@ -37,6 +38,9 @@ func main() {
 	faultSpec := flag.String("faults", "", `fault environment applied to every grid point, e.g. "line.bit=1e-4; @1000 chipkill line 0 3"`)
 	faultSeed := flag.Uint64("fault-seed", 0, "override the fault-injection RNG seed")
 	workers := flag.Int("j", 0, "parallel grid points (0 = GOMAXPROCS, 1 = serial; output is identical)")
+	epochInterval := flag.Int64("epoch-interval", 0, "sample telemetry every N cycles of each measured window (0 = off)")
+	epochCSV := flag.String("epoch-csv", "", "write the per-epoch time-series as CSV to this file (needs -epoch-interval)")
+	epochJSONL := flag.String("epoch-jsonl", "", "write the per-epoch time-series as JSON lines to this file (needs -epoch-interval)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -58,6 +62,10 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown scale %q", *scaleName))
 	}
+	if (*epochCSV != "" || *epochJSONL != "") && *epochInterval <= 0 {
+		fatal(fmt.Errorf("-epoch-csv/-epoch-jsonl need -epoch-interval > 0"))
+	}
+	scale.EpochInterval = sim.Cycle(*epochInterval)
 
 	w := os.Stdout
 	if *out != "" {
@@ -151,6 +159,14 @@ func main() {
 		})
 	}
 
+	// Epoch time-series riders: collected in grid order alongside the
+	// summary rows, written after the grid completes so streams stay
+	// deterministic at any -j.
+	type epochPoint struct {
+		value  string
+		series *hetsim.EpochSeries
+	}
+	var epochs []epochPoint
 	wroteHeader := false
 	for i, vs := range vals {
 		res, err := tasks[i].Wait()
@@ -164,6 +180,50 @@ func main() {
 			wroteHeader = true
 		}
 		if err := cw.Write(append([]string{*param, vs}, res.CSVRow()...)); err != nil {
+			fatal(err)
+		}
+		if res.Epochs != nil {
+			epochs = append(epochs, epochPoint{value: vs, series: res.Epochs})
+		}
+	}
+
+	if *epochCSV != "" {
+		f, err := os.Create(*epochCSV)
+		if err != nil {
+			fatal(err)
+		}
+		ecw := csv.NewWriter(f)
+		var prev *hetsim.EpochSeries
+		for _, p := range epochs {
+			// Grid points share a header until the column signature
+			// changes (e.g. a cores sweep changing cpu column count).
+			header := prev == nil || !prev.SameCols(p.series)
+			if err := p.series.WriteCSV(ecw, header, []string{"param", "value"},
+				[]string{*param, p.value}); err != nil {
+				fatal(err)
+			}
+			prev = p.series
+		}
+		ecw.Flush()
+		if err := ecw.Error(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *epochJSONL != "" {
+		f, err := os.Create(*epochJSONL)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range epochs {
+			if err := p.series.WriteJSONL(f, []string{"param", "value"},
+				[]string{*param, p.value}); err != nil {
+				fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
 			fatal(err)
 		}
 	}

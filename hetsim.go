@@ -26,10 +26,12 @@ package hetsim
 
 import (
 	"fmt"
+	"io"
 
 	"hetsim/internal/core"
 	"hetsim/internal/exp"
 	"hetsim/internal/faults"
+	"hetsim/internal/telemetry"
 	"hetsim/internal/workload"
 )
 
@@ -138,6 +140,35 @@ func NewSystem(cfg Config, benchmark string) (*System, error) {
 
 // Run executes warmup plus a measured window and returns Results.
 func (s *System) Run(scale Scale) Results { return s.inner.Run(scale) }
+
+// EpochSeries is a per-epoch telemetry time-series (Results.Epochs):
+// one row per Scale.EpochInterval cycles of the measured window, with
+// columns for IPC, queue depths, MSHR occupancy, CWF early-wake gap,
+// fault counters, and per-channel-group energy.
+type EpochSeries = telemetry.Series
+
+// EpochSink receives epoch rows during a run; see NewEpochCSVSink and
+// NewEpochJSONLSink for the streaming writers, flushed outside the
+// timed path.
+type EpochSink = telemetry.Sink
+
+// NewEpochCSVSink returns a buffered sink streaming epoch rows as CSV.
+func NewEpochCSVSink(w io.Writer) EpochSink { return telemetry.NewCSVSink(w) }
+
+// NewEpochJSONLSink returns a buffered sink streaming epoch rows as
+// one JSON object per line.
+func NewEpochJSONLSink(w io.Writer) EpochSink { return telemetry.NewJSONLSink(w) }
+
+// AddEpochSink attaches a streaming sink fed on the next Run with a
+// positive Scale.EpochInterval.
+func (s *System) AddEpochSink(k EpochSink) { s.inner.AddEpochSink(k) }
+
+// EpochSinkError reports the first sink flush failure of the last Run.
+func (s *System) EpochSinkError() error { return s.inner.EpochSinkError() }
+
+// Metrics lists the system's registered telemetry metric names in
+// column order.
+func (s *System) Metrics() []string { return s.inner.Reg.Names() }
 
 // RunPair measures the paper's weighted-speedup throughput metric:
 // an 8-core shared run against a single-core stand-alone reference.

@@ -380,6 +380,13 @@ type RunScale struct {
 	WarmupReads  uint64
 	MeasureReads uint64
 	MaxCycles    sim.Cycle
+
+	// EpochInterval enables the telemetry epoch sampler for the
+	// measured window: every EpochInterval cycles one row of per-epoch
+	// metrics is recorded into Results.Epochs (and any sinks attached
+	// with System.AddEpochSink). 0 disables sampling; summary Results
+	// are identical either way.
+	EpochInterval sim.Cycle
 }
 
 // TestScale is the fast scale used by unit tests.

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"fmt"
+
 	"hetsim/internal/cache"
 	"hetsim/internal/cpu"
 	"hetsim/internal/faults"
 	"hetsim/internal/prefetch"
 	"hetsim/internal/sim"
 	"hetsim/internal/stats"
+	"hetsim/internal/telemetry"
 	"hetsim/internal/trace"
 )
 
@@ -30,6 +33,11 @@ type HierStats struct {
 	// CritLatency is the requested-critical-word latency (Figure 7):
 	// MSHR allocation to arrival of the word the CPU asked for.
 	CritLatency stats.Mean
+
+	// EarlyWakeGap is the CWF head start: cycles between a usable
+	// critical word arriving (the early wake) and the rest of its line
+	// landing. Demand fills only; parity-held words never woke early.
+	EarlyWakeGap stats.Mean
 
 	// ReuseGaps is the §6.1.1 census: cycles between a line's fill
 	// request and its next access to a different word.
@@ -376,6 +384,9 @@ func (h *Hierarchy) lineReady(e *cache.Entry) {
 		// The withheld critical word is only usable now, after SECDED.
 		h.Stat.CritLatency.Add(float64(int64(h.eng.Now()) - e.Born))
 	}
+	if e.CritArrived && !e.ParityHeld && !e.Store && !e.Prefetch {
+		h.Stat.EarlyWakeGap.Add(float64(int64(h.eng.Now()) - e.CritAt))
+	}
 	h.wakeWaiters(e, func(cache.Waiter) bool { return true })
 	h.maybeFinish(e)
 }
@@ -607,5 +618,35 @@ func (h *Hierarchy) L2() *cache.Cache { return h.l2 }
 
 // MSHROccupancy reports current outstanding fills.
 func (h *Hierarchy) MSHROccupancy() int { return h.mshr.Occupancy() }
+
+// registerMetrics publishes the hierarchy's counters, latency means,
+// live occupancy gauges, and (when armed) the fault injector's
+// counters. System.collect reads the measured window back out of these
+// same probes, so the "hier." names below are load-bearing.
+func (h *Hierarchy) registerMetrics(reg *telemetry.Registry) {
+	st := &h.Stat
+	reg.Counter("hier.demand_fills", &st.DemandFills)
+	reg.Counter("hier.store_fills", &st.StoreFills)
+	reg.Counter("hier.prefetch_fills", &st.PrefetchFills)
+	reg.Counter("hier.merged_misses", &st.MergedMisses)
+	reg.Counter("hier.writebacks", &st.Writebacks)
+	reg.Counter("hier.crit_served_fast", &st.CritServedFast)
+	for w := 0; w < 8; w++ {
+		reg.Counter(fmt.Sprintf("hier.crit_word_%d", w), &st.CritWordHist[w])
+	}
+	reg.Mean("hier.crit_latency", &st.CritLatency)
+	reg.Mean("hier.early_wake_gap", &st.EarlyWakeGap)
+	reg.Histogram("hier.reuse_gap", st.ReuseGaps)
+	reg.Counter("hier.parity_errors", &st.ParityErrors)
+	reg.Counter("hier.wb_overflow", &st.WBOverflow)
+	reg.Counter("hier.fault_held", &st.FaultHeld)
+	reg.Counter("hier.fault_escaped", &st.FaultEscaped)
+	reg.Counter("hier.secded_corrected", &st.SECDEDCorrected)
+	reg.Counter("hier.reconstructions", &st.Reconstructions)
+	reg.Counter("hier.degraded_fills", &st.DegradedFills)
+	reg.Gauge("hier.mshr_occupancy", func() float64 { return float64(h.mshr.Occupancy()) })
+	reg.Gauge("hier.wb_queue", func() float64 { return float64(len(h.wbQueue)) })
+	h.inj.RegisterMetrics(reg, "faults.")
+}
 
 var _ cpu.Port = (*Hierarchy)(nil)

@@ -9,6 +9,8 @@ import (
 	"hetsim/internal/memctrl"
 	"hetsim/internal/power"
 	"hetsim/internal/sim"
+	"hetsim/internal/stats"
+	"hetsim/internal/telemetry"
 	"hetsim/internal/workload"
 )
 
@@ -21,6 +23,16 @@ type System struct {
 	Hier  *Hierarchy
 	mem   backend
 	gens  []*workload.Generator
+
+	// Reg is the machine's metric registry: every component publishes
+	// its counters here at construction, and both the end-of-run
+	// summary (collect) and the epoch sampler read from it.
+	Reg *telemetry.Registry
+
+	epochSinks []telemetry.Sink
+	sampler    *telemetry.Sampler
+	nextSample sim.Cycle
+	flushErr   error
 }
 
 // coreRegionBytes is the address-space slice per multiprogrammed copy.
@@ -62,8 +74,148 @@ func NewSystem(cfg SystemConfig, spec workload.Spec) (*System, error) {
 		s.gens = append(s.gens, gen)
 		s.Cores = append(s.Cores, cpu.New(i, coreCfg, gen, s.Hier))
 	}
+	s.registerMetrics()
 	return s, nil
 }
+
+// registerMetrics builds the system's registry. Order is the epoch
+// column order and must be deterministic: engine, cores, hierarchy
+// (plus faults), then per-group controllers, channel aggregates and
+// energy. collect depends on the names, not the order.
+func (s *System) registerMetrics() {
+	reg := telemetry.NewRegistry()
+	s.Reg = reg
+	eng := s.Eng
+	reg.Accum("sim.events", func() float64 { return float64(eng.EventsFired()) })
+	for i, c := range s.Cores {
+		c.RegisterMetrics(reg, fmt.Sprintf("cpu%d.", i))
+	}
+	s.Hier.registerMetrics(reg)
+
+	groups := s.mem.Groups()
+	for gi := range groups {
+		g := groups[gi]
+		prefix := fmt.Sprintf("mem.g%d.", gi)
+		for ci, ctrl := range g.Ctrls {
+			ctrl.RegisterMetrics(reg, fmt.Sprintf("%sc%d.", prefix, ci))
+		}
+		reg.Accum(prefix+"acts", groupCounter(g, func(st *dram.Stats) uint64 { return st.Acts }))
+		reg.Accum(prefix+"reads", groupCounter(g, func(st *dram.Stats) uint64 { return st.Reads }))
+		reg.Accum(prefix+"writes", groupCounter(g, func(st *dram.Stats) uint64 { return st.Writes }))
+		reg.Accum(prefix+"refreshes", groupCounter(g, func(st *dram.Stats) uint64 { return st.Refreshes }))
+		reg.Accum(prefix+"data_busy", groupDataBusy(g))
+		reg.Accum(prefix+"active_cyc", groupStateCycles(eng, g, dram.PSActive))
+		reg.Accum(prefix+"pd_cyc", groupStateCycles(eng, g, dram.PSPowerDown))
+		reg.Accum(prefix+"deep_cyc", groupStateCycles(eng, g, dram.PSDeepPowerDown))
+		reg.Accum(prefix+"energy_mj", power.Probe(s.chipFor(g), power.TimingFor(g.Cfg.Timing), groupActivity(eng, g)))
+	}
+	// Whole-memory read-latency aggregates, summed in group/controller
+	// order — the same order collect's predecessor accumulated them in,
+	// which keeps the float arithmetic bit-identical.
+	reg.MeanFunc("mem.queue_lat", ctrlSum(groups, func(l *stats.LatencyBreakdown) *stats.Mean { return &l.Queue }))
+	reg.MeanFunc("mem.core_lat", ctrlSum(groups, func(l *stats.LatencyBreakdown) *stats.Mean { return &l.Core }))
+	reg.MeanFunc("mem.xfer_lat", ctrlSum(groups, func(l *stats.LatencyBreakdown) *stats.Mean { return &l.Xfer }))
+}
+
+// chipFor selects the energy model for a channel group, including the
+// §6.1.3 deep-sleep LPDDR2 variant.
+func (s *System) chipFor(g ChannelGroup) power.ChipParams {
+	chip := power.ChipFor(g.Kind)
+	if g.Kind == dram.LPDDR2 && s.Cfg.DeepSleepLP {
+		chip = power.LPDDR2MalladiChip()
+	}
+	return chip
+}
+
+// groupCounter sums one dram.Stats counter across a group's channels.
+func groupCounter(g ChannelGroup, f func(*dram.Stats) uint64) func() float64 {
+	return func() float64 {
+		var sum uint64
+		for _, ch := range g.Chans {
+			sum += f(&ch.Stat)
+		}
+		return float64(sum)
+	}
+}
+
+// groupDataBusy sums data-bus busy cycles across a group's channels.
+func groupDataBusy(g ChannelGroup) func() float64 {
+	return func() float64 {
+		var sum sim.Cycle
+		for _, ch := range g.Chans {
+			sum += ch.Stat.DataBusy
+		}
+		return float64(sum)
+	}
+}
+
+// groupStateCycles sums rank power-state residency across a group.
+// Channel state accounting is lazy, so each read finalizes to now
+// first — an accounting split that leaves later totals unchanged.
+func groupStateCycles(eng *sim.Engine, g ChannelGroup, ps dram.PowerState) func() float64 {
+	return func() float64 {
+		now := eng.Now()
+		var sum sim.Cycle
+		for _, ch := range g.Chans {
+			ch.Finalize(now)
+			for rk := 0; rk < ch.Ranks(); rk++ {
+				sum += ch.StateCycles(rk, ps)
+			}
+		}
+		return float64(sum)
+	}
+}
+
+// groupActivity assembles a cumulative power.ChannelActivity for the
+// epoch energy probe.
+func groupActivity(eng *sim.Engine, g ChannelGroup) func() power.ChannelActivity {
+	return func() power.ChannelActivity {
+		now := eng.Now()
+		var a power.ChannelActivity
+		a.Elapsed = now
+		a.DevicesPerRank = g.DevicesPerRank
+		a.DevicesPerAccess = g.DevicesPerAccess
+		for _, ch := range g.Chans {
+			ch.Finalize(now)
+			a.Acts += ch.Stat.Acts
+			a.Reads += ch.Stat.Reads
+			a.Writes += ch.Stat.Writes
+			a.Refreshes += ch.Stat.Refreshes
+			for rk := 0; rk < ch.Ranks(); rk++ {
+				a.ActiveCycles += ch.StateCycles(rk, dram.PSActive)
+				a.PDCycles += ch.StateCycles(rk, dram.PSPowerDown)
+				a.DeepCycles += ch.StateCycles(rk, dram.PSDeepPowerDown)
+			}
+		}
+		return a
+	}
+}
+
+// ctrlSum aggregates one latency component's running (sum, n) across
+// every controller of every group, in registration order.
+func ctrlSum(groups []ChannelGroup, pick func(*stats.LatencyBreakdown) *stats.Mean) func() (float64, float64) {
+	return func() (float64, float64) {
+		var sum float64
+		var n int64
+		for _, g := range groups {
+			for _, c := range g.Ctrls {
+				m := pick(&c.Stats.Reads)
+				sum += m.Sum()
+				n += m.N()
+			}
+		}
+		return sum, float64(n)
+	}
+}
+
+// AddEpochSink attaches a streaming sink (CSV, JSONL) that receives
+// epoch rows on the next Run with a positive Scale.EpochInterval.
+// Sinks are flushed after the measured window, outside the timed path;
+// a flush failure is reported by EpochSinkError.
+func (s *System) AddEpochSink(k telemetry.Sink) { s.epochSinks = append(s.epochSinks, k) }
+
+// EpochSinkError reports the first sink flush error of the last Run.
+func (s *System) EpochSinkError() error { return s.flushErr }
 
 // applyLineMapping overrides the address interleaving of the backend's
 // first channel group (the line channels). Close-page groups keep their
@@ -191,68 +343,11 @@ type Results struct {
 	// Degraded reports that the run ended with the critical-word DIMM
 	// declared dead (CWF disabled, line-only service).
 	Degraded bool
-}
 
-// groupSnap freezes one channel group's counters.
-type groupSnap struct {
-	acts, reads, writes, refs uint64
-	dataBusy                  sim.Cycle
-	state                     [3]sim.Cycle
-}
-
-type snapshot struct {
-	cycles sim.Cycle
-
-	demand, served, merged, wb, parity uint64
-	held, escaped, corrected           uint64
-	recon, degraded                    uint64
-	critHist                           [8]uint64
-	critLatSum                         float64
-	critLatN                           int64
-
-	qSum, cSum, xSum float64
-	rN               int64
-
-	groups []groupSnap
-}
-
-func (s *System) snap() snapshot {
-	now := s.Eng.Now()
-	st := s.Hier.Stat
-	sn := snapshot{
-		cycles: now,
-		demand: st.DemandFills, served: st.CritServedFast,
-		merged: st.MergedMisses, wb: st.Writebacks, parity: st.ParityErrors,
-		held: st.FaultHeld, escaped: st.FaultEscaped,
-		corrected: st.SECDEDCorrected, recon: st.Reconstructions,
-		degraded:   st.DegradedFills,
-		critHist:   st.CritWordHist,
-		critLatSum: st.CritLatency.Sum(), critLatN: st.CritLatency.N(),
-	}
-	for _, g := range s.mem.Groups() {
-		var gs groupSnap
-		for _, ch := range g.Chans {
-			ch.Finalize(now)
-			gs.acts += ch.Stat.Acts
-			gs.reads += ch.Stat.Reads
-			gs.writes += ch.Stat.Writes
-			gs.refs += ch.Stat.Refreshes
-			gs.dataBusy += ch.Stat.DataBusy
-			for rk := 0; rk < ch.Ranks(); rk++ {
-				gs.state[0] += ch.StateCycles(rk, dram.PSActive)
-				gs.state[1] += ch.StateCycles(rk, dram.PSPowerDown)
-				gs.state[2] += ch.StateCycles(rk, dram.PSDeepPowerDown)
-			}
-		}
-		sn.groups = append(sn.groups, gs)
-		for _, c := range g.Ctrls {
-			sn.qSum += c.Stats.Reads.Queue.Sum()
-			sn.cSum += c.Stats.Reads.Core.Sum()
-			sn.xSum += c.Stats.Reads.Xfer.Sum()
-			sn.rN += c.Stats.Reads.N()
-		}
-	}
-	return sn
+	// Epochs is the per-epoch time-series of the measured window, set
+	// when the run's Scale.EpochInterval was positive. Not part of the
+	// CSV schema: summary output is identical with sampling on or off.
+	Epochs *telemetry.Series
 }
 
 // Run executes prewarm, warmup, then a measured window.
@@ -266,14 +361,32 @@ func (s *System) Run(scale RunScale) Results {
 	for _, c := range s.Cores {
 		c.ResetStats()
 	}
-	start := s.snap()
+	start := s.Reg.Snapshot(s.Eng.Now())
+
+	// Arm the epoch sampler for the measured window only: warmup never
+	// produces epochs, and summary results are sampled-independent.
+	var epochMem *telemetry.MemorySink
+	s.flushErr = nil
+	if scale.EpochInterval > 0 {
+		epochMem = telemetry.NewMemorySink()
+		sinks := append([]telemetry.Sink{epochMem}, s.epochSinks...)
+		s.sampler = telemetry.NewSampler(s.Reg, scale.EpochInterval, sinks...)
+		s.sampler.Reset(start.Cycle)
+		s.nextSample = start.Cycle + scale.EpochInterval
+	}
 
 	target := s.Hier.Stat.DemandFills + scale.MeasureReads
 	s.drive(func() bool { return s.Hier.Stat.DemandFills >= target },
-		start.cycles+scale.MaxCycles)
-	end := s.snap()
+		start.Cycle+scale.MaxCycles)
+	end := s.Reg.Snapshot(s.Eng.Now())
 
-	return s.collect(start, end)
+	res := s.collect(telemetry.NewView(s.Reg, start, end))
+	if s.sampler != nil {
+		s.flushErr = s.sampler.Flush()
+		res.Epochs = epochMem.Series()
+		s.sampler = nil
+	}
+	return res
 }
 
 // prewarm replays ops per core into the caches functionally (see
@@ -292,9 +405,15 @@ func (s *System) prewarm(ops uint64) {
 	}
 }
 
-// collect computes Results from two snapshots.
-func (s *System) collect(start, end snapshot) Results {
-	elapsed := end.cycles - start.cycles
+// collect computes Results as a thin view over the registry: every
+// field is a delta, rate, or window mean of named metrics across the
+// measured window. The arithmetic reproduces the pre-registry
+// snapshot code operation-for-operation — counter snapshots are
+// integer-valued float64s (exact below 2^53) and energy is computed
+// from windowed deltas through the power model, never as a difference
+// of cumulative energies — so summary CSV output is byte-identical.
+func (s *System) collect(v telemetry.View) Results {
+	elapsed := v.Elapsed()
 	if elapsed <= 0 {
 		elapsed = 1
 	}
@@ -302,57 +421,61 @@ func (s *System) collect(start, end snapshot) Results {
 		Benchmark:    s.Spec.Name,
 		Config:       s.Cfg.Name,
 		Cycles:       elapsed,
-		DemandReads:  end.demand - start.demand,
-		MergedMisses: end.merged - start.merged,
-		Writebacks:   end.wb - start.wb,
-		ParityErrors: end.parity - start.parity,
+		DemandReads:  uint64(v.Delta("hier.demand_fills")),
+		MergedMisses: uint64(v.Delta("hier.merged_misses")),
+		Writebacks:   uint64(v.Delta("hier.writebacks")),
+		ParityErrors: uint64(v.Delta("hier.parity_errors")),
 
-		HeldWakes:       end.held - start.held,
-		CritEscapes:     end.escaped - start.escaped,
-		SECDEDCorrected: end.corrected - start.corrected,
-		Reconstructions: end.recon - start.recon,
-		DegradedFills:   end.degraded - start.degraded,
+		HeldWakes:       uint64(v.Delta("hier.fault_held")),
+		CritEscapes:     uint64(v.Delta("hier.fault_escaped")),
+		SECDEDCorrected: uint64(v.Delta("hier.secded_corrected")),
+		Reconstructions: uint64(v.Delta("hier.reconstructions")),
+		DegradedFills:   uint64(v.Delta("hier.degraded_fills")),
 		Degraded:        s.Hier.degraded,
 	}
-	for _, c := range s.Cores {
-		ipc := c.IPC(elapsed)
+	for i := range s.Cores {
+		ipc := v.Delta(fmt.Sprintf("cpu%d.retired", i)) / float64(elapsed)
 		r.IPCs = append(r.IPCs, ipc)
 		r.SumIPC += ipc
 	}
-	if n := end.critLatN - start.critLatN; n > 0 {
-		r.CritLatency = (end.critLatSum - start.critLatSum) / float64(n)
+	if n := v.Count("hier.crit_latency"); n > 0 {
+		r.CritLatency = v.Delta("hier.crit_latency") / n
 	}
 	if r.DemandReads > 0 {
-		r.CritFromFastFrac = float64(end.served-start.served) / float64(r.DemandReads)
+		r.CritFromFastFrac = v.Delta("hier.crit_served_fast") / float64(r.DemandReads)
 		for w := 0; w < 8; w++ {
-			r.CritWordFrac[w] = float64(end.critHist[w]-start.critHist[w]) / float64(r.DemandReads)
+			r.CritWordFrac[w] = v.Delta(fmt.Sprintf("hier.crit_word_%d", w)) / float64(r.DemandReads)
 		}
 	}
-	if n := end.rN - start.rN; n > 0 {
-		r.QueueLat = (end.qSum - start.qSum) / float64(n)
-		r.CoreLat = (end.cSum - start.cSum) / float64(n)
-		r.XferLat = (end.xSum - start.xSum) / float64(n)
+	if n := v.Count("mem.queue_lat"); n > 0 {
+		r.QueueLat = v.Delta("mem.queue_lat") / n
+		r.CoreLat = v.Delta("mem.core_lat") / n
+		r.XferLat = v.Delta("mem.xfer_lat") / n
 	}
 
-	// Energy over the measured window.
+	// Energy over the measured window: windowed uint64/cycle deltas
+	// reconstructed from the registry and fed through the chip model.
 	groups := s.mem.Groups()
 	var lineBusy sim.Cycle
 	var lineChans int
-	for gi, g := range groups {
-		d := diffGroup(end.groups[gi], start.groups[gi])
-		chip := power.ChipFor(g.Kind)
-		if g.Kind == dram.LPDDR2 && s.Cfg.DeepSleepLP {
-			chip = power.LPDDR2MalladiChip()
-		}
+	for gi := range groups {
+		g := groups[gi]
+		p := fmt.Sprintf("mem.g%d.", gi)
 		act := power.ChannelActivity{
 			Elapsed:      elapsed,
-			ActiveCycles: d.state[0], PDCycles: d.state[1], DeepCycles: d.state[2],
-			Acts: d.acts, Reads: d.reads, Writes: d.writes, Refreshes: d.refs,
+			ActiveCycles: sim.Cycle(v.Delta(p + "active_cyc")),
+			PDCycles:     sim.Cycle(v.Delta(p + "pd_cyc")),
+			DeepCycles:   sim.Cycle(v.Delta(p + "deep_cyc")),
+			Acts:         uint64(v.Delta(p + "acts")),
+			Reads:        uint64(v.Delta(p + "reads")),
+			Writes:       uint64(v.Delta(p + "writes")),
+			Refreshes:    uint64(v.Delta(p + "refreshes")),
+
 			DevicesPerRank: g.DevicesPerRank, DevicesPerAccess: g.DevicesPerAccess,
 		}
-		r.DRAMEnergyMJ += power.ChannelEnergyMJ(chip, power.TimingFor(g.Cfg.Timing), act)
+		r.DRAMEnergyMJ += power.ChannelEnergyMJ(s.chipFor(g), power.TimingFor(g.Cfg.Timing), act)
 		if gi == 0 {
-			lineBusy = d.dataBusy
+			lineBusy = sim.Cycle(v.Delta(p + "data_busy"))
 			lineChans = len(g.Chans)
 		}
 	}
@@ -362,20 +485,11 @@ func (s *System) collect(start, end snapshot) Results {
 	}
 
 	// Latency tolerance of second accesses (§6.1.1): compare reuse gaps
-	// against the LPDDR2 line-fill latency.
+	// against the LPDDR2 line-fill latency. Full-run census, not a
+	// windowed delta, matching the original semantics.
 	lpLat := float64(dram.LPDDR2Timing().TRCD + dram.LPDDR2Timing().TRL + dram.LPDDR2Timing().Burst)
 	r.ReuseGapFracOK = 1 - s.Hier.Stat.ReuseGaps.FracBelow(lpLat)
 	return r
-}
-
-func diffGroup(end, start groupSnap) groupSnap {
-	return groupSnap{
-		acts: end.acts - start.acts, reads: end.reads - start.reads,
-		writes: end.writes - start.writes, refs: end.refs - start.refs,
-		dataBusy: end.dataBusy - start.dataBusy,
-		state: [3]sim.Cycle{end.state[0] - start.state[0],
-			end.state[1] - start.state[1], end.state[2] - start.state[2]},
-	}
 }
 
 // drive is the main simulation loop: it interleaves the event engine
@@ -427,6 +541,17 @@ func (s *System) drive(stop func() bool, maxCycles sim.Cycle) {
 		if next <= now {
 			next = now + 1
 		}
+		// Close any epoch whose boundary falls in [now, next): cycle
+		// `now` is fully processed and nothing happens before `next`,
+		// so the sampler observes exact boundary state without adding
+		// loop iterations — core stepping, the stop-poll cadence, and
+		// the deadlock check above are bit-identical with sampling off.
+		if s.sampler != nil {
+			for s.nextSample < next {
+				s.sampler.Tick(s.nextSample)
+				s.nextSample += s.sampler.Interval()
+			}
+		}
 		now = next
 	}
 	eng.RunUntil(maxCycles)
@@ -464,6 +589,9 @@ func RunPair(cfg SystemConfig, spec workload.Spec, scale RunScale) (Results, err
 	aloneScale := scale
 	aloneScale.WarmupReads = scale.WarmupReads / 4
 	aloneScale.MeasureReads = scale.MeasureReads / 4
+	// Only the shared run's time-series is interesting; the alone
+	// references exist for one IPC ratio each.
+	aloneScale.EpochInterval = 0
 
 	baseCfg := Baseline(1)
 	baseCfg.Prefetch = cfg.Prefetch
@@ -490,27 +618,54 @@ func RunPair(cfg SystemConfig, spec workload.Spec, scale RunScale) (Results, err
 	return res, nil
 }
 
+// csvColumn is one entry of the summary-CSV schema: a column name and
+// the accessor rendering it. A single ordered table drives both
+// CSVHeader and CSVRow so they can never drift apart; the column list
+// and float formatting ('g', 8) are the frozen legacy format that
+// sweep tooling and recorded outputs depend on.
+type csvColumn struct {
+	name string
+	cell func(r *Results) string
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+func fmtU(v uint64) string  { return strconv.FormatUint(v, 10) }
+
+var resultsCSVSchema = []csvColumn{
+	{"benchmark", func(r *Results) string { return r.Benchmark }},
+	{"config", func(r *Results) string { return r.Config }},
+	{"cycles", func(r *Results) string { return strconv.FormatInt(int64(r.Cycles), 10) }},
+	{"demand_reads", func(r *Results) string { return fmtU(r.DemandReads) }},
+	{"sum_ipc", func(r *Results) string { return fmtF(r.SumIPC) }},
+	{"throughput", func(r *Results) string { return fmtF(r.Throughput) }},
+	{"throughput_self", func(r *Results) string { return fmtF(r.ThroughputSelf) }},
+	{"crit_latency", func(r *Results) string { return fmtF(r.CritLatency) }},
+	{"queue_lat", func(r *Results) string { return fmtF(r.QueueLat) }},
+	{"core_lat", func(r *Results) string { return fmtF(r.CoreLat) }},
+	{"xfer_lat", func(r *Results) string { return fmtF(r.XferLat) }},
+	{"crit_fast_frac", func(r *Results) string { return fmtF(r.CritFromFastFrac) }},
+	{"bus_util", func(r *Results) string { return fmtF(r.BusUtil) }},
+	{"dram_energy_mj", func(r *Results) string { return fmtF(r.DRAMEnergyMJ) }},
+	{"dram_power_mw", func(r *Results) string { return fmtF(r.DRAMPowerMW) }},
+	{"writebacks", func(r *Results) string { return fmtU(r.Writebacks) }},
+	{"merged_misses", func(r *Results) string { return fmtU(r.MergedMisses) }},
+	{"parity_errors", func(r *Results) string { return fmtU(r.ParityErrors) }},
+}
+
 // CSVHeader lists the column names of CSVRow, for sweep tooling.
 func (Results) CSVHeader() []string {
-	return []string{"benchmark", "config", "cycles", "demand_reads",
-		"sum_ipc", "throughput", "throughput_self", "crit_latency",
-		"queue_lat", "core_lat", "xfer_lat", "crit_fast_frac",
-		"bus_util", "dram_energy_mj", "dram_power_mw",
-		"writebacks", "merged_misses", "parity_errors"}
+	hs := make([]string, len(resultsCSVSchema))
+	for i, c := range resultsCSVSchema {
+		hs[i] = c.name
+	}
+	return hs
 }
 
 // CSVRow renders the results as strings matching CSVHeader.
 func (r Results) CSVRow() []string {
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
-	return []string{
-		r.Benchmark, r.Config,
-		strconv.FormatInt(int64(r.Cycles), 10),
-		strconv.FormatUint(r.DemandReads, 10),
-		f(r.SumIPC), f(r.Throughput), f(r.ThroughputSelf), f(r.CritLatency),
-		f(r.QueueLat), f(r.CoreLat), f(r.XferLat), f(r.CritFromFastFrac),
-		f(r.BusUtil), f(r.DRAMEnergyMJ), f(r.DRAMPowerMW),
-		strconv.FormatUint(r.Writebacks, 10),
-		strconv.FormatUint(r.MergedMisses, 10),
-		strconv.FormatUint(r.ParityErrors, 10),
+	row := make([]string, len(resultsCSVSchema))
+	for i, c := range resultsCSVSchema {
+		row[i] = c.cell(&r)
 	}
+	return row
 }

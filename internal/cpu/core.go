@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"hetsim/internal/sim"
+	"hetsim/internal/telemetry"
 )
 
 // MemOp is one memory instruction in a workload trace, preceded by Gap
@@ -373,3 +374,19 @@ func (c *Core) IPC(elapsed sim.Cycle) float64 {
 
 // ResetStats zeroes the performance counters (used after cache warmup).
 func (c *Core) ResetStats() { c.Stat = Stats{} }
+
+// RegisterMetrics registers this core's counters under prefix (e.g.
+// "cpu0."). The registry holds references into Stat, so ResetStats —
+// which replaces the struct's values, not the struct — stays visible
+// to later snapshots.
+func (c *Core) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	st := &c.Stat
+	reg.CounterRate(prefix+"ipc", &st.Retired)
+	reg.Counter(prefix+"retired", &st.Retired)
+	reg.Counter(prefix+"loads", &st.Loads)
+	reg.Counter(prefix+"stores", &st.Stores)
+	reg.Counter(prefix+"load_misses", &st.LoadMisses)
+	reg.Counter(prefix+"retry_stalls", &st.RetryStalls)
+	reg.Counter(prefix+"dep_stalls", &st.DepStalls)
+	reg.Gauge(prefix+"outstanding", func() float64 { return float64(c.waitingMisses) })
+}

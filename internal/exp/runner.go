@@ -68,6 +68,9 @@ type Runner struct {
 
 	logMu sync.Mutex
 	done  int
+
+	epochMu sync.Mutex
+	epochs  []epochRecord
 }
 
 // NewRunner builds a runner.
@@ -104,6 +107,7 @@ func (r *Runner) Start(cfg core.SystemConfig, bench string) *runpool.Task[core.R
 		if err != nil {
 			return core.Results{}, err
 		}
+		r.recordEpochs(cfg.Name, bench, res.Epochs)
 		r.progress(cfg.Name, bench, time.Since(start))
 		return res, nil
 	})

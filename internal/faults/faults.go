@@ -22,6 +22,7 @@ import (
 
 	"hetsim/internal/ecc"
 	"hetsim/internal/sim"
+	"hetsim/internal/telemetry"
 )
 
 // Timing penalties of the error-handling paths, in CPU cycles at the
@@ -314,6 +315,22 @@ func New(cfg Config, lineChannels int) *Injector {
 
 // Counts returns a snapshot of the injection counters.
 func (in *Injector) Counts() Counts { return in.counts }
+
+// RegisterMetrics registers the injection counters under prefix (e.g.
+// "faults."). Calling it on a nil injector (an inert fault layer)
+// registers nothing, so telemetry columns exist only when faults do.
+func (in *Injector) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	if in == nil {
+		return
+	}
+	c := &in.counts
+	reg.Counter(prefix+"injected", &c.Injected)
+	reg.Counter(prefix+"held", &c.Held)
+	reg.Counter(prefix+"escaped", &c.Escaped)
+	reg.Counter(prefix+"corrected", &c.Corrected)
+	reg.Counter(prefix+"reconstructed", &c.Reconstructed)
+	reg.Counter(prefix+"chip_kills", &c.ChipKills)
+}
 
 // advance applies every scripted event whose time has come.
 func (in *Injector) advance(now sim.Cycle) {

@@ -6,6 +6,7 @@ import (
 	"hetsim/internal/dram"
 	"hetsim/internal/sim"
 	"hetsim/internal/stats"
+	"hetsim/internal/telemetry"
 )
 
 // Request is one DRAM transaction. Reads invoke OnComplete when the last
@@ -209,6 +210,22 @@ func (c *Controller) CanAcceptWrite() bool { return len(c.wq) < c.Cfg.WriteQueue
 
 // QueueDepths reports current occupancy (reads, writes).
 func (c *Controller) QueueDepths() (int, int) { return len(c.rq), len(c.wq) }
+
+// RegisterMetrics registers this controller's counters, latency
+// breakdown, and live queue depths under prefix (e.g. "mem.g0.c1.").
+func (c *Controller) RegisterMetrics(reg *telemetry.Registry, prefix string) {
+	st := &c.Stats
+	reg.Mean(prefix+"queue_lat", &st.Reads.Queue)
+	reg.Mean(prefix+"core_lat", &st.Reads.Core)
+	reg.Mean(prefix+"xfer_lat", &st.Reads.Xfer)
+	reg.Counter(prefix+"row_hits", &st.RowHits)
+	reg.Counter(prefix+"row_misses", &st.RowMisses)
+	reg.Counter(prefix+"writes_done", &st.WritesDone)
+	reg.Counter(prefix+"reads_queued", &st.ReadsQueued)
+	reg.Counter(prefix+"drains", &st.Drains)
+	reg.Gauge(prefix+"read_q", func() float64 { return float64(len(c.rq)) })
+	reg.Gauge(prefix+"write_q", func() float64 { return float64(len(c.wq)) })
+}
 
 // EnqueueRead queues a read. It returns false, leaving the request
 // untouched, when the queue is full; the caller must retry (MSHR-level

@@ -142,6 +142,17 @@ type ChannelActivity struct {
 	DevicesPerAccess int // chips activated per access
 }
 
+// Probe adapts the energy model into a telemetry accumulator: it
+// returns a closure reporting cumulative channel-group energy (mJ)
+// computed from the live activity counters, so per-epoch deltas give
+// epoch energy. This is a monitoring view only — end-of-run summary
+// energy is still computed from windowed counter deltas fed through
+// ChannelEnergyMJ once, which is not FP-identical to a difference of
+// cumulative evaluations.
+func Probe(p ChipParams, t EnergyTiming, activity func() ChannelActivity) func() float64 {
+	return func() float64 { return ChannelEnergyMJ(p, t, activity()) }
+}
+
 // mwCyclesToMJ converts mW×CPU-cycles to millijoules.
 func mwCyclesToMJ(mwCycles float64) float64 {
 	seconds := 1 / (sim.CPUFreqGHz * 1e9)

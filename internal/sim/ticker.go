@@ -1,0 +1,55 @@
+package sim
+
+// Ticker is the engine's epoch hook: it invokes a callback every
+// Interval cycles for as long as it is armed, rescheduling itself with
+// a single preallocated handler so steady-state ticking does not
+// allocate. Telemetry samplers attach through it when they are not
+// embedded in a caller's own drive loop.
+//
+// A Ticker fires strictly through the event queue, so its callback
+// observes the simulation exactly at epoch boundaries, after all
+// events scheduled for that cycle with a smaller sequence number have
+// run. Callbacks must not block and must not mutate simulated state;
+// they exist to observe.
+type Ticker struct {
+	eng      *Engine
+	interval Cycle
+	fn       func(now Cycle)
+	armed    bool
+}
+
+// NewTicker creates a ticker firing fn every interval cycles. It is
+// created disarmed; call Start to schedule the first tick.
+func NewTicker(eng *Engine, interval Cycle, fn func(now Cycle)) *Ticker {
+	if interval <= 0 {
+		panic("sim: ticker interval must be positive")
+	}
+	return &Ticker{eng: eng, interval: interval, fn: fn}
+}
+
+// Start arms the ticker: the first tick fires interval cycles from now.
+// Starting an armed ticker is a no-op.
+func (t *Ticker) Start() {
+	if t.armed {
+		return
+	}
+	t.armed = true
+	t.eng.ScheduleEvent(t.interval, t, nil)
+}
+
+// Stop disarms the ticker. The already-scheduled tick still pops from
+// the queue but does nothing and does not reschedule.
+func (t *Ticker) Stop() { t.armed = false }
+
+// Armed reports whether the ticker is currently scheduled.
+func (t *Ticker) Armed() bool { return t.armed }
+
+// OnEvent implements EventHandler; one tick fires and the next is
+// scheduled with the same handler, so ticking never allocates.
+func (t *Ticker) OnEvent(any) {
+	if !t.armed {
+		return
+	}
+	t.fn(t.eng.Now())
+	t.eng.ScheduleEvent(t.interval, t, nil)
+}

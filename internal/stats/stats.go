@@ -39,11 +39,13 @@ func (m *Mean) Value() float64 {
 }
 
 // Histogram is a fixed-bucket histogram over [0, max) with overflow
-// accumulated in the last bucket.
+// accumulated in the last bucket. NaN samples are counted separately
+// and never touch the buckets, sum, or extrema.
 type Histogram struct {
 	bucketWidth float64
 	counts      []int64
 	total       int64
+	nans        int64
 	sum         float64
 	min, max    float64
 }
@@ -57,8 +59,15 @@ func NewHistogram(n int, width float64) *Histogram {
 		min: math.Inf(1), max: math.Inf(-1)}
 }
 
-// Add records one sample.
+// Add records one sample. A NaN sample increments the NaNs counter and
+// is otherwise dropped: before this guard, int(NaN/width) landed in an
+// arbitrary bucket and sum += NaN poisoned Mean/Min/Max for the rest of
+// the run.
 func (h *Histogram) Add(v float64) {
+	if math.IsNaN(v) {
+		h.nans++
+		return
+	}
 	i := int(v / h.bucketWidth)
 	if i < 0 {
 		i = 0
@@ -77,8 +86,14 @@ func (h *Histogram) Add(v float64) {
 	}
 }
 
-// Total reports the number of samples.
+// Total reports the number of samples (excluding NaN samples).
 func (h *Histogram) Total() int64 { return h.total }
+
+// NaNs reports the number of NaN samples seen (and dropped) by Add.
+func (h *Histogram) NaNs() int64 { return h.nans }
+
+// Sum reports the total of all non-NaN samples.
+func (h *Histogram) Sum() float64 { return h.sum }
 
 // Mean reports the sample mean, or 0 when empty.
 func (h *Histogram) Mean() float64 {

@@ -71,6 +71,80 @@ func TestHistogramNegativeClamped(t *testing.T) {
 	}
 }
 
+// TestHistogramEdgeCases covers NaN samples (counted separately, must
+// not poison sum/min/max), negatives (clamped to bucket 0), and values
+// landing exactly on bucket boundaries.
+func TestHistogramEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		total   int64
+		nans    int64
+		sum     float64
+		min     float64
+		max     float64
+		// fracBelowAt/fracBelow probe bucket placement.
+		fracBelowAt float64
+		fracBelow   float64
+	}{
+		{
+			name:    "nan only",
+			samples: []float64{math.NaN()},
+			total:   0, nans: 1, sum: 0, min: 0, max: 0,
+			fracBelowAt: 10, fracBelow: 0,
+		},
+		{
+			name:    "nan mixed with reals",
+			samples: []float64{5, math.NaN(), 15, math.NaN()},
+			total:   2, nans: 2, sum: 20, min: 5, max: 15,
+			fracBelowAt: 10, fracBelow: 0.5,
+		},
+		{
+			name:    "negative clamped to first bucket",
+			samples: []float64{-7, -0.5, 3},
+			total:   3, nans: 0, sum: -4.5, min: -7, max: 3,
+			fracBelowAt: 10, fracBelow: 1,
+		},
+		{
+			name: "exact boundary goes to upper bucket",
+			// width 10: 10 belongs to bucket 1, so FracBelow(10)
+			// counts only bucket 0.
+			samples: []float64{0, 10, 20},
+			total:   3, nans: 0, sum: 30, min: 0, max: 20,
+			fracBelowAt: 10, fracBelow: 1.0 / 3.0,
+		},
+		{
+			name:    "zero sample",
+			samples: []float64{0},
+			total:   1, nans: 0, sum: 0, min: 0, max: 0,
+			fracBelowAt: 10, fracBelow: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(8, 10)
+			for _, v := range tc.samples {
+				h.Add(v)
+			}
+			if h.Total() != tc.total || h.NaNs() != tc.nans {
+				t.Fatalf("total/nans = %d/%d, want %d/%d", h.Total(), h.NaNs(), tc.total, tc.nans)
+			}
+			if math.IsNaN(h.Sum()) || h.Sum() != tc.sum {
+				t.Fatalf("sum = %v, want %v", h.Sum(), tc.sum)
+			}
+			if h.Min() != tc.min || h.Max() != tc.max {
+				t.Fatalf("min/max = %v/%v, want %v/%v", h.Min(), h.Max(), tc.min, tc.max)
+			}
+			if got := h.FracBelow(tc.fracBelowAt); got != tc.fracBelow {
+				t.Fatalf("FracBelow(%v) = %v, want %v", tc.fracBelowAt, got, tc.fracBelow)
+			}
+			if math.IsNaN(h.Mean()) {
+				t.Fatal("mean must never be NaN")
+			}
+		})
+	}
+}
+
 func TestLatencyBreakdown(t *testing.T) {
 	var l LatencyBreakdown
 	l.Add(100, 50, 16)

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"hetsim/internal/sim"
+)
+
+// Series is a completed epoch time-series: one row of float64s per
+// epoch, flat row-major storage. It is plain data — DeepEqual-able,
+// which is what the determinism tests compare across worker counts.
+type Series struct {
+	Cols   []string
+	Cycles []sim.Cycle
+	Data   []float64 // row-major, len = len(Cycles)*len(Cols)
+}
+
+// NumRows reports the number of epochs.
+func (s *Series) NumRows() int { return len(s.Cycles) }
+
+// Row returns epoch i's values, aliased into the flat storage.
+func (s *Series) Row(i int) []float64 {
+	n := len(s.Cols)
+	return s.Data[i*n : (i+1)*n]
+}
+
+// Col returns the index of the named column, or -1.
+func (s *Series) Col(name string) int {
+	for i, c := range s.Cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value returns epoch i's value for the named column; ok is false for
+// an unknown column.
+func (s *Series) Value(i int, name string) (v float64, ok bool) {
+	c := s.Col(name)
+	if c < 0 {
+		return 0, false
+	}
+	return s.Row(i)[c], true
+}
+
+// SameCols reports whether two series share an identical column list —
+// the condition for writing their rows under one CSV header.
+func (s *Series) SameCols(o *Series) bool {
+	if len(s.Cols) != len(o.Cols) {
+		return false
+	}
+	for i, c := range s.Cols {
+		if c != o.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteCSV writes the series through a csv.Writer, each row prefixed
+// by extraVals (e.g. config and benchmark names). When header is true
+// a header row of extraCols + "cycle" + metric columns is written
+// first. The caller flushes the writer.
+func (s *Series) WriteCSV(cw *csv.Writer, header bool, extraCols, extraVals []string) error {
+	if len(extraCols) != len(extraVals) {
+		return fmt.Errorf("telemetry: %d extra columns but %d values", len(extraCols), len(extraVals))
+	}
+	n := len(s.Cols)
+	rec := make([]string, 0, len(extraVals)+1+n)
+	if header {
+		rec = append(rec, extraCols...)
+		rec = append(rec, "cycle")
+		rec = append(rec, s.Cols...)
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	for i := range s.Cycles {
+		rec = rec[:0]
+		rec = append(rec, extraVals...)
+		rec = append(rec, strconv.FormatInt(int64(s.Cycles[i]), 10))
+		for _, v := range s.Row(i) {
+			rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL writes the series as one JSON object per epoch, each
+// carrying the extra string fields first (e.g. "config", "bench"),
+// then "cycle", then the metric columns in order. Non-finite values
+// are emitted as null.
+func (s *Series) WriteJSONL(w io.Writer, extraCols, extraVals []string) error {
+	if len(extraCols) != len(extraVals) {
+		return fmt.Errorf("telemetry: %d extra columns but %d values", len(extraCols), len(extraVals))
+	}
+	var buf []byte
+	for i := range s.Cycles {
+		buf = buf[:0]
+		buf = append(buf, '{')
+		for j := range extraCols {
+			buf = append(buf, strconv.Quote(extraCols[j])...)
+			buf = append(buf, ':')
+			buf = append(buf, strconv.Quote(extraVals[j])...)
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `"cycle":`...)
+		buf = strconv.AppendInt(buf, int64(s.Cycles[i]), 10)
+		for j, v := range s.Row(i) {
+			buf = append(buf, ',')
+			buf = append(buf, strconv.Quote(s.Cols[j])...)
+			buf = append(buf, ':')
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				buf = append(buf, "null"...)
+			} else {
+				buf = appendFloat(buf, v)
+			}
+		}
+		buf = append(buf, '}', '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"strconv"
+
+	"hetsim/internal/sim"
+)
+
+// Sink receives epoch rows from a Sampler. Begin is called once per
+// sampling window with the column names; Sample is called at every
+// epoch boundary from inside the timed path, so it must not perform
+// I/O or retain row; Flush drains buffered output and is only called
+// outside the timed path.
+type Sink interface {
+	Begin(cols []string)
+	Sample(cycle sim.Cycle, row []float64)
+	Flush() error
+}
+
+// MemorySink accumulates epochs into a Series — the sink used for
+// tests and for Results.Epochs. Storage is flat and append-amortized.
+type MemorySink struct {
+	s Series
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Begin implements Sink.
+func (m *MemorySink) Begin(cols []string) {
+	m.s.Cols = append([]string(nil), cols...)
+	m.s.Cycles = m.s.Cycles[:0]
+	m.s.Data = m.s.Data[:0]
+}
+
+// Sample implements Sink.
+func (m *MemorySink) Sample(cycle sim.Cycle, row []float64) {
+	m.s.Cycles = append(m.s.Cycles, cycle)
+	m.s.Data = append(m.s.Data, row...)
+}
+
+// Flush implements Sink; memory sinks cannot fail.
+func (m *MemorySink) Flush() error { return nil }
+
+// Series returns the accumulated series. The caller owns it; a
+// subsequent Begin starts a fresh window over the same storage, so
+// take it only after the run completes.
+func (m *MemorySink) Series() *Series {
+	out := m.s
+	m.s = Series{}
+	return &out
+}
+
+// appendFloat formats v the way all telemetry emitters do: shortest
+// round-trippable decimal, cycle-counts as integers elsewhere.
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// CSVSink streams epochs as CSV into an io.Writer. Sample appends to
+// an internal buffer; bytes reach the writer only on Flush, keeping
+// file I/O out of the timed path. Columns are a leading "cycle" plus
+// the metric names.
+type CSVSink struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+// NewCSVSink returns a sink writing CSV to w.
+func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{w: w} }
+
+// Begin implements Sink.
+func (c *CSVSink) Begin(cols []string) {
+	c.buf = append(c.buf, "cycle"...)
+	for _, name := range cols {
+		c.buf = append(c.buf, ',')
+		c.buf = append(c.buf, name...)
+	}
+	c.buf = append(c.buf, '\n')
+}
+
+// Sample implements Sink.
+func (c *CSVSink) Sample(cycle sim.Cycle, row []float64) {
+	c.buf = strconv.AppendInt(c.buf, int64(cycle), 10)
+	for _, v := range row {
+		c.buf = append(c.buf, ',')
+		c.buf = appendFloat(c.buf, v)
+	}
+	c.buf = append(c.buf, '\n')
+}
+
+// Flush implements Sink, draining the buffer to the writer.
+func (c *CSVSink) Flush() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.buf) > 0 {
+		_, c.err = c.w.Write(c.buf)
+		c.buf = c.buf[:0]
+	}
+	return c.err
+}
+
+// JSONLSink streams epochs as one JSON object per line:
+//
+//	{"cycle":64000,"cpu0.ipc":1.93,...}
+//
+// in registration order. Keys are pre-quoted at Begin so Sample only
+// appends bytes. Non-finite values (a gauge misbehaving) are emitted
+// as null to keep every line valid JSON.
+type JSONLSink struct {
+	w    io.Writer
+	keys [][]byte // `,"name":` fragments, one per column
+	buf  []byte
+	err  error
+}
+
+// NewJSONLSink returns a sink writing JSON lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Begin implements Sink.
+func (j *JSONLSink) Begin(cols []string) {
+	j.keys = make([][]byte, len(cols))
+	for i, name := range cols {
+		k := append([]byte{','}, strconv.Quote(name)...)
+		j.keys[i] = append(k, ':')
+	}
+}
+
+// Sample implements Sink.
+func (j *JSONLSink) Sample(cycle sim.Cycle, row []float64) {
+	j.buf = append(j.buf, `{"cycle":`...)
+	j.buf = strconv.AppendInt(j.buf, int64(cycle), 10)
+	for i, v := range row {
+		j.buf = append(j.buf, j.keys[i]...)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			j.buf = append(j.buf, "null"...)
+		} else {
+			j.buf = appendFloat(j.buf, v)
+		}
+	}
+	j.buf = append(j.buf, '}', '\n')
+}
+
+// Flush implements Sink, draining the buffer to the writer.
+func (j *JSONLSink) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	if len(j.buf) > 0 {
+		_, j.err = j.w.Write(j.buf)
+		j.buf = j.buf[:0]
+	}
+	return j.err
+}
