@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz faults bench bench-json bench-telemetry profile verify
+.PHONY: build vet test race fuzz faults bench bench-json bench-controller bench-telemetry profile verify
 
 build:
 	$(GO) build ./...
@@ -42,10 +42,19 @@ bench:
 # "Performance"). Regenerate after kernel changes and commit the diff.
 bench-json:
 	{ $(GO) test -bench 'BenchmarkKernel' -benchmem -run '^$$' ./internal/sim/ && \
-	  $(GO) test -bench 'BenchmarkControllerReadRoundtrip' -benchmem -run '^$$' ./internal/memctrl/ && \
+	  $(GO) test -bench 'BenchmarkController' -benchmem -run '^$$' ./internal/memctrl/ && \
 	  $(GO) test -bench 'BenchmarkHierarchyReadPath' -benchmem -run '^$$' ./internal/core/ && \
 	  $(GO) test -bench 'BenchmarkSimulatorSpeed' -benchmem -benchtime 5x -run '^$$' . ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_kernel.json
+
+# Controller scheduling baseline as committed JSON (see DESIGN.md
+# "Controller scheduling performance"): the controller microbenchmark
+# family plus end-to-end simulator speed. Regenerate after controller,
+# DRAM-timing, or drive-loop changes and commit the diff.
+bench-controller:
+	{ $(GO) test -bench 'BenchmarkController' -benchmem -run '^$$' ./internal/memctrl/ && \
+	  $(GO) test -bench 'BenchmarkSimulatorSpeed' -benchmem -benchtime 5x -run '^$$' . ; } \
+	| $(GO) run ./cmd/benchjson > BENCH_controller.json
 
 # Telemetry overhead baseline as committed JSON: the same run with the
 # epoch sampler off and at two intervals. The on-vs-off ns/op ratio is

@@ -330,10 +330,6 @@ func (h *Hierarchy) onCrit(e *cache.Entry) {
 			h.Stat.FaultEscaped++
 		}
 	}
-	if !e.Store && !e.Prefetch && e.MissWord == e.CritWord {
-		h.Stat.CritServedFast++
-		h.Stat.CritLatency.Add(float64(int64(h.eng.Now()) - e.Born))
-	}
 	h.wakeWaiters(e, func(w cache.Waiter) bool { return w.Word == e.CritWord })
 	h.maybeFinish(e)
 }
@@ -410,6 +406,21 @@ func (h *Hierarchy) wakeWaiters(e *cache.Entry, match func(cache.Waiter) bool) {
 func (h *Hierarchy) maybeFinish(e *cache.Entry) {
 	if !e.Done() {
 		return
+	}
+	// Decide served-fast now that both arrival cycles are known: the
+	// fast path must strictly lead the full line. A refresh (or any
+	// other channel stall) can delay the critical word until — or past
+	// — the cycle the line lands, in which case the word was already
+	// deliverable from the line and the fast path gained nothing.
+	if e.CritArrived && !e.ParityHeld && !e.Store && !e.Prefetch &&
+		e.MissWord == e.CritWord {
+		now := int64(h.eng.Now())
+		if e.CritAt < now {
+			h.Stat.CritServedFast++
+			h.Stat.CritLatency.Add(float64(e.CritAt - e.Born))
+		} else {
+			h.Stat.CritLatency.Add(float64(now - e.Born))
+		}
 	}
 	if h.cfg.TraceFn != nil {
 		h.cfg.TraceFn(trace.Record{

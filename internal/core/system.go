@@ -33,6 +33,11 @@ type System struct {
 	sampler    *telemetry.Sampler
 	nextSample sim.Cycle
 	flushErr   error
+
+	// wakeSig counts memory-response wakes delivered to any core; drive
+	// compares it across engine runs to skip the per-core scan on
+	// iterations where only memory-side events fired.
+	wakeSig uint64
 }
 
 // coreRegionBytes is the address-space slice per multiprogrammed copy.
@@ -72,7 +77,9 @@ func NewSystem(cfg SystemConfig, spec workload.Spec) (*System, error) {
 		}
 		gen := workload.NewGenerator(spec, i, cfg.NCores, base, cfg.Seed+1)
 		s.gens = append(s.gens, gen)
-		s.Cores = append(s.Cores, cpu.New(i, coreCfg, gen, s.Hier))
+		core := cpu.New(i, coreCfg, gen, s.Hier)
+		core.WakeHook = func() { s.wakeSig++ }
+		s.Cores = append(s.Cores, core)
 	}
 	s.registerMetrics()
 	return s, nil
@@ -502,35 +509,51 @@ func (s *System) drive(stop func() bool, maxCycles sim.Cycle) {
 	for i := range wakes {
 		wakes[i] = now
 	}
-	const checkEvery = 64
-	iter := 0
+	// The stop condition is polled on a fixed simulated-time grid, not
+	// per loop iteration: iteration count depends on event density
+	// (controllers parked between actionable cycles schedule far fewer
+	// ticks than per-cycle controllers), and the measured window's
+	// boundaries must not. Every stop condition is a monotone counter
+	// threshold, so evaluating it once when the jump crosses one or
+	// more grid points pins the return to the first crossed point.
+	const stopPollEvery = 64
+	nextStop := (now/stopPollEvery + 1) * stopPollEvery
+	// Core processing is skipped on iterations where no core is due and
+	// no memory-response wake arrived (wakeSig unchanged): pending wake
+	// flags exist exactly when wakeSig moved past lastSig, because the
+	// per-core scan below consumes every flag and records the signal
+	// level it consumed up to. Skipped iterations (memory-side events
+	// only) reuse the cached wake minimum; behaviour is identical to
+	// scanning every core, just without the scan.
+	minWake := now
+	lastSig := s.wakeSig
 	for now < maxCycles {
-		iter++
-		if iter%checkEvery == 0 && stop() {
-			return
-		}
 		eng.RunUntil(now)
-		for i, c := range s.Cores {
-			if c.WakePending() {
-				wakes[i] = now
+		if s.wakeSig != lastSig || minWake <= now {
+			for i, c := range s.Cores {
+				if c.WakePending() {
+					wakes[i] = now
+				}
+				if wakes[i] <= now {
+					wakes[i] = c.Step(now)
+				}
 			}
-			if wakes[i] <= now {
-				wakes[i] = c.Step(now)
+			lastSig = s.wakeSig
+			// Flush events the steps scheduled for this cycle
+			// (controller kicks run at the current cycle). Wakes this
+			// delivers move wakeSig past lastSig, forcing both the
+			// now+1 bound below and a re-scan next iteration.
+			eng.RunUntil(now)
+			minWake = sim.Cycle(1<<62 - 1)
+			for _, w := range wakes {
+				if w < minWake {
+					minWake = w
+				}
 			}
 		}
-		// Flush events the steps scheduled for this cycle (controller
-		// kicks run at the current cycle).
-		eng.RunUntil(now)
-
-		next := sim.Cycle(1<<62 - 1)
-		for i, c := range s.Cores {
-			if c.HasWake() {
-				next = now + 1
-				break
-			}
-			if wakes[i] < next {
-				next = wakes[i]
-			}
+		next := minWake
+		if s.wakeSig != lastSig && now+1 < next {
+			next = now + 1
 		}
 		if t, ok := eng.PeekNext(); ok && t < next {
 			next = t
@@ -541,16 +564,41 @@ func (s *System) drive(stop func() bool, maxCycles sim.Cycle) {
 		if next <= now {
 			next = now + 1
 		}
-		// Close any epoch whose boundary falls in [now, next): cycle
+		// If the jump crosses a stop-poll grid point, evaluate the stop
+		// condition there. Cycle `now` is fully processed and nothing
+		// happens before `next`, so the state at every crossed point
+		// equals the state at `now`; a true verdict ends the drive at
+		// the first crossed point, and the engine clock is advanced to
+		// exactly that cycle so callers snapshot a boundary that does
+		// not depend on how the loop subdivided the interval.
+		stopAt := next
+		if nextStop < next {
+			if stop() {
+				stopAt = nextStop
+			} else {
+				nextStop = ((next-1)/stopPollEvery + 1) * stopPollEvery
+			}
+		}
+		// Close any epoch whose boundary falls in [now, stopAt): cycle
 		// `now` is fully processed and nothing happens before `next`,
 		// so the sampler observes exact boundary state without adding
 		// loop iterations — core stepping, the stop-poll cadence, and
 		// the deadlock check above are bit-identical with sampling off.
+		// The engine clock is advanced to each boundary first (firing
+		// nothing — the queue is empty below `next`) so probes that
+		// finalize lazy accounting to Engine.Now, like rank power-state
+		// residency, read exact boundary values regardless of where the
+		// loop's iterations happen to land.
 		if s.sampler != nil {
-			for s.nextSample < next {
+			for s.nextSample < stopAt {
+				eng.RunUntil(s.nextSample)
 				s.sampler.Tick(s.nextSample)
 				s.nextSample += s.sampler.Interval()
 			}
+		}
+		if stopAt < next {
+			eng.RunUntil(stopAt)
+			return
 		}
 		now = next
 	}

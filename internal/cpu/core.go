@@ -140,9 +140,24 @@ type Core struct {
 
 	wakePending bool
 
+	// WakeHook, when set, is invoked on every memory-response wake, so
+	// a driver folding many cores can notice "some core woke" without
+	// polling each one. Wakes arrive only from engine dispatch context.
+	WakeHook func()
+
 	// waitingMisses counts loads with a memory response outstanding —
 	// the watchdog's view of whether a silent hang is a lost wake.
 	waitingMisses int
+
+	// loadsInROB counts load entries currently between head and tail.
+	// Zero with a full ROB means every in-flight instruction is 1-cycle
+	// work, which is what licenses the steady-stream fast path in Step.
+	loadsInROB int
+
+	// exact disables both analytic fast paths so every cycle is
+	// stepped individually. Tests set it to build the reference side
+	// of the batching differential; production code never does.
+	exact bool
 
 	Stat Stats
 }
@@ -214,16 +229,46 @@ func (c *Core) entryAt(i int) *robEntry {
 // Step advances the core by one cycle at time now and returns the next
 // cycle the core wants stepping.
 func (c *Core) Step(now sim.Cycle) sim.Cycle {
+	// Steady-stream fast path: a full ROB holding only 1-cycle work
+	// (no loads — with count == ROBSize the window covers every slot,
+	// so loadsInROB == 0 rules them out entirely) and a run of plain
+	// work ahead. Every one of the next k cycles then retires exactly
+	// Width completed entries and refills exactly Width plain ones
+	// (head entries are always at least one cycle old, so their
+	// completeAt has passed), so the whole stretch collapses to counter
+	// arithmetic; the physical entries stay byte-for-byte valid (stale
+	// completeAt values are all in the past, and generation staleness
+	// only ever guards load slots, of which there are none). The
+	// invariant self-sustains for any remaining gap ≥ Width, so only
+	// two dispatch groups are held back: the batch leaves pendingGap in
+	// [2·Width, 3·Width) and the final approach to the memory op —
+	// including any mid-group dispatch alignment — is stepped exactly.
+	// ROBs narrower than Width retire fewer than Width per cycle and
+	// take the exact path.
+	if !c.exact && c.loadsInROB == 0 && c.count == len(c.rob) && len(c.rob) >= c.Cfg.Width &&
+		c.pendingGap >= 3*c.Cfg.Width {
+		k := (c.pendingGap - 2*c.Cfg.Width) / c.Cfg.Width
+		c.pendingGap -= k * c.Cfg.Width
+		c.Stat.Retired += uint64(k * c.Cfg.Width)
+		return now + sim.Cycle(k)
+	}
 	c.retire(now)
 	// Fast-forward a pure compute burst: with the ROB drained and a
 	// long run of 1-cycle ALU work ahead, throughput is exactly Width
 	// per cycle, so the burst is consumed analytically. A ROB's worth
-	// is kept back to re-enter cycle-accurate mode smoothly.
-	if c.count == 0 && c.pendingGap > 2*c.Cfg.ROBSize {
+	// is kept back to re-enter cycle-accurate mode smoothly. As above,
+	// a ROB narrower than Width caps throughput below Width per cycle,
+	// so it takes the exact path.
+	if !c.exact && c.count == 0 && len(c.rob) >= c.Cfg.Width &&
+		c.pendingGap > 2*c.Cfg.ROBSize {
+		// Only whole dispatch groups are skipped: rounding the burst up
+		// would charge a full cycle for a partial group that the real
+		// pipeline fills with the instructions that follow it.
 		burst := c.pendingGap - c.Cfg.ROBSize
+		burst -= burst % c.Cfg.Width
 		c.pendingGap -= burst
 		c.Stat.Retired += uint64(burst)
-		return now + sim.Cycle((burst+c.Cfg.Width-1)/c.Cfg.Width)
+		return now + sim.Cycle(burst/c.Cfg.Width)
 	}
 	c.dispatch(now)
 	return c.nextWake(now)
@@ -235,6 +280,9 @@ func (c *Core) retire(now sim.Cycle) {
 		e := &c.rob[c.head]
 		if e.waitingMem || now < e.completeAt {
 			return
+		}
+		if e.isLoad {
+			c.loadsInROB--
 		}
 		c.head++
 		if c.head == len(c.rob) {
@@ -303,6 +351,7 @@ func (c *Core) issueMem(now sim.Cycle, op MemOp) bool {
 	status := c.Port.Access(c.ID, op.Addr, false, c.wakeFns[slot])
 	switch status {
 	case AccessRetry:
+		e.isLoad = false // entry not admitted; slot stays logically free
 		return false
 	case AccessL1Hit:
 		e.completeAt = now + c.Cfg.L1Latency
@@ -321,6 +370,7 @@ func (c *Core) issueMem(now sim.Cycle, op MemOp) bool {
 	}
 	c.count++
 	c.Stat.Loads++
+	c.loadsInROB++
 	c.lastLoad = loadRef{slot: int32(slot), gen: e.gen}
 	return true
 }
@@ -339,6 +389,9 @@ func (c *Core) wakeSlot(slot int) {
 	e.readyAt = 0
 	c.waitingMisses--
 	c.wakePending = true
+	if c.WakeHook != nil {
+		c.WakeHook()
+	}
 }
 
 // OutstandingMisses reports how many of this core's loads are waiting

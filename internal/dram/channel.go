@@ -14,6 +14,7 @@ import (
 type CmdBus struct {
 	freeAt     sim.Cycle
 	BusyCycles sim.Cycle
+	owners     int // channels issuing on this bus
 }
 
 // reserve claims the bus for width cycles starting at t.
@@ -24,6 +25,25 @@ func (c *CmdBus) reserve(t, width sim.Cycle) {
 
 // free reports whether the bus is idle at t.
 func (c *CmdBus) free(t sim.Cycle) bool { return t >= c.freeAt }
+
+// Shared reports whether more than one channel issues commands on this
+// bus (the §4.2.4 aggregated critical-word configuration).
+func (c *CmdBus) Shared() bool { return c.owners > 1 }
+
+// Never is the next-ready value of a command blocked on something other
+// than time: a bank that must be precharged first, a rank that needs an
+// external Wake, a device without refresh. Waiting until Never is never
+// correct — the blocking condition is cleared by another command or an
+// external call, both of which re-probe.
+const Never = sim.Cycle(1<<62 - 1)
+
+// maxc is the saturating max used to fold constraint deadlines.
+func maxc(a, b sim.Cycle) sim.Cycle {
+	if b > a {
+		return b
+	}
+	return a
+}
 
 // Stats aggregates the activity counters the power model consumes.
 type Stats struct {
@@ -71,6 +91,7 @@ func NewChannel(cfg Config, nRanks int, shared *CmdBus) *Channel {
 	if shared == nil {
 		shared = &CmdBus{}
 	}
+	shared.owners++
 	ch := &Channel{Cfg: cfg, Cmd: shared, lastDataRank: -1}
 	for i := 0; i < nRanks; i++ {
 		ch.ranks = append(ch.ranks, newRank(cfg.Geom, cfg.Timing.TREFI))
@@ -112,58 +133,83 @@ func (ch *Channel) claimData(start sim.Cycle, rk int, write bool) {
 	}
 }
 
-// TryActivate issues ACT(row) to a bank. Returns false (with no side
-// effects) if any constraint blocks it at time t.
-func (ch *Channel) TryActivate(t sim.Cycle, rk, bk int, row int64) bool {
+// TryActivate issues ACT(row) to a bank. On failure nothing changes and
+// next reports the earliest cycle the same ACT could succeed (Never when
+// it is blocked on bank state rather than time: the row buffer holds
+// another row and must be precharged first).
+func (ch *Channel) TryActivate(t sim.Cycle, rk, bk int, row int64) (next sim.Cycle, ok bool) {
 	tm := &ch.Cfg.Timing
 	r := ch.ranks[rk]
 	b := &r.banks[bk]
-	if !r.awake(t) || !ch.Cmd.free(t) || b.openRow != -1 ||
-		t < b.canActAt || t < r.nextActAt || !r.fawOK(t, tm.TFAW) {
-		return false
+	next = maxc(t, r.awakeAt())
+	next = maxc(next, ch.Cmd.freeAt)
+	next = maxc(next, b.canActAt)
+	next = maxc(next, r.nextActAt)
+	next = maxc(next, r.fawReadyAt(tm.TFAW))
+	if b.openRow != -1 {
+		next = Never
+	}
+	if next > t {
+		return next, false
 	}
 	ch.Cmd.reserve(t, tm.BusCycle)
 	b.activate(t, tm, row)
 	r.recordAct(t)
 	r.nextActAt = t + tm.TRRD
 	ch.Stat.Acts++
-	return true
+	return 0, true
 }
 
-// TryPrecharge issues PRE to a bank.
-func (ch *Channel) TryPrecharge(t sim.Cycle, rk, bk int) bool {
+// TryPrecharge issues PRE to a bank; next follows the TryActivate
+// contract (Never = the bank is already precharged).
+func (ch *Channel) TryPrecharge(t sim.Cycle, rk, bk int) (next sim.Cycle, ok bool) {
 	r := ch.ranks[rk]
 	b := &r.banks[bk]
-	if !r.awake(t) || !ch.Cmd.free(t) || b.openRow == -1 || t < b.canPreAt {
-		return false
+	next = maxc(t, r.awakeAt())
+	next = maxc(next, ch.Cmd.freeAt)
+	next = maxc(next, b.canPreAt)
+	if b.openRow == -1 {
+		next = Never
+	}
+	if next > t {
+		return next, false
 	}
 	ch.Cmd.reserve(t, ch.Cfg.Timing.BusCycle)
 	b.precharge(t, &ch.Cfg.Timing)
-	return true
+	return 0, true
 }
 
 // TryCAS issues a column read or write to an open row. autoPre applies
-// the close-page auto-precharge. On success it returns the cycle the
-// first data beat appears on the bus.
+// the close-page auto-precharge. On success the first return value is
+// the cycle the first data beat appears on the bus; on failure it is the
+// earliest retry cycle (Never when the open row does not match — a
+// precharge/activate sequence must run first).
 func (ch *Channel) TryCAS(t sim.Cycle, rk, bk int, row int64, kind AccessKind, autoPre bool) (dataStart sim.Cycle, ok bool) {
 	tm := &ch.Cfg.Timing
 	r := ch.ranks[rk]
 	b := &r.banks[bk]
-	if !r.awake(t) || !ch.Cmd.free(t) || b.openRow != row || t < r.nextCASAt {
-		return 0, false
-	}
 	write := kind == AccessWrite
+	lat := tm.TRL
 	if write {
-		dataStart = t + tm.TWL
-	} else {
-		dataStart = t + tm.TRL
-		if t < b.canReadAt || t < r.lastWriteDataEnd+tm.TWTR {
-			return 0, false
-		}
+		lat = tm.TWL
 	}
-	if dataStart < ch.dataBusEarliest(rk, write) {
-		return 0, false
+	next := maxc(t, r.awakeAt())
+	next = maxc(next, ch.Cmd.freeAt)
+	next = maxc(next, r.nextCASAt)
+	if !write {
+		next = maxc(next, b.canReadAt)
+		next = maxc(next, r.lastWriteDataEnd+tm.TWTR)
 	}
+	// The data bus frees independently of the command time: a CAS at t'
+	// puts data on the bus at t'+lat, so t' ≥ earliest-lat.
+	next = maxc(next, ch.dataBusEarliest(rk, write)-lat)
+	if b.openRow != row {
+		next = Never
+	}
+	if next > t {
+		return next, false
+	}
+	dataStart = t + lat
 	ch.Cmd.reserve(t, tm.BusCycle)
 	r.nextCASAt = t + tm.TCCD
 	ch.claimData(dataStart, rk, write)
@@ -195,7 +241,9 @@ func (ch *Channel) TryCAS(t sim.Cycle, rk, bk int, row int64, kind AccessKind, a
 
 // TryAccess issues an RLDRAM3-style unified access: the single command
 // carries the whole address, the array access and implicit precharge are
-// gated only by tRC. Valid only for RLDRAM3 channels.
+// gated only by tRC. Valid only for RLDRAM3 channels. The first return
+// value follows the TryCAS contract (data start on success, earliest
+// retry cycle on failure).
 func (ch *Channel) TryAccess(t sim.Cycle, rk, bk int, kind AccessKind) (dataStart sim.Cycle, ok bool) {
 	if !ch.Cfg.Unified() {
 		panic("dram: TryAccess on non-unified channel " + ch.Cfg.Kind.String())
@@ -203,18 +251,20 @@ func (ch *Channel) TryAccess(t sim.Cycle, rk, bk int, kind AccessKind) (dataStar
 	tm := &ch.Cfg.Timing
 	r := ch.ranks[rk]
 	b := &r.banks[bk]
-	if !r.awake(t) || !ch.Cmd.free(t) || t < b.canActAt || t < r.nextCASAt {
-		return 0, false
-	}
 	write := kind == AccessWrite
+	lat := tm.TRL
 	if write {
-		dataStart = t + tm.TWL
-	} else {
-		dataStart = t + tm.TRL
+		lat = tm.TWL
 	}
-	if dataStart < ch.dataBusEarliest(rk, write) {
-		return 0, false
+	next := maxc(t, r.awakeAt())
+	next = maxc(next, ch.Cmd.freeAt)
+	next = maxc(next, b.canActAt)
+	next = maxc(next, r.nextCASAt)
+	next = maxc(next, ch.dataBusEarliest(rk, write)-lat)
+	if next > t {
+		return next, false
 	}
+	dataStart = t + lat
 	ch.Cmd.reserve(t, tm.BusCycle)
 	b.canActAt = t + tm.TRC
 	r.nextCASAt = t + tm.TCCD
@@ -237,17 +287,39 @@ func (ch *Channel) RefreshDue(t sim.Cycle, rk int) bool {
 	return t >= ch.ranks[rk].refreshDueAt
 }
 
+// NextRefreshDue reports the exact cycle rank rk's next refresh falls
+// due (Never for devices without modelled refresh). Unlike the RefreshDue
+// predicate this lets callers arm a wakeup on the real deadline instead
+// of polling one tREFI out.
+func (ch *Channel) NextRefreshDue(rk int) sim.Cycle {
+	if ch.Cfg.Timing.TREFI == 0 {
+		return Never
+	}
+	return ch.ranks[rk].refreshDueAt
+}
+
 // TryRefresh issues an all-bank refresh. All banks must be precharged.
-func (ch *Channel) TryRefresh(t sim.Cycle, rk int) bool {
+// On failure next covers only the *timing* constraints (power-state
+// wake, command bus, tRP settling); a next ≤ t means the refresh is
+// blocked on open banks, which the caller must precharge first.
+func (ch *Channel) TryRefresh(t sim.Cycle, rk int) (next sim.Cycle, ok bool) {
 	tm := &ch.Cfg.Timing
 	r := ch.ranks[rk]
-	if tm.TREFI == 0 || !r.awake(t) || !ch.Cmd.free(t) || !r.allBanksIdle() {
-		return false
+	if tm.TREFI == 0 {
+		return Never, false
 	}
+	next = maxc(t, r.awakeAt())
+	next = maxc(next, ch.Cmd.freeAt)
+	idle := true
 	for i := range r.banks {
-		if t < r.banks[i].canActAt { // recent precharge must settle (tRP)
-			return false
+		if r.banks[i].openRow != -1 {
+			idle = false
+			continue
 		}
+		next = maxc(next, r.banks[i].canActAt) // recent precharge must settle (tRP)
+	}
+	if !idle || next > t {
+		return next, false
 	}
 	ch.Cmd.reserve(t, tm.BusCycle)
 	r.refreshUntil = t + tm.TRFC
@@ -261,7 +333,7 @@ func (ch *Channel) TryRefresh(t sim.Cycle, rk int) bool {
 		}
 	}
 	ch.Stat.Refreshes++
-	return true
+	return 0, true
 }
 
 // PowerState reports rank rk's current power mode.

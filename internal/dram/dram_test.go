@@ -93,14 +93,14 @@ func TestActivateReadPrechargeFlow(t *testing.T) {
 	if _, ok := ch.TryCAS(0, 0, 0, 5, AccessRead, false); ok {
 		t.Fatal("CAS succeeded on closed row")
 	}
-	if !ch.TryActivate(0, 0, 0, 5) {
+	if !actOK(ch, 0, 0, 0, 5) {
 		t.Fatal("ACT failed on idle bank")
 	}
 	if ch.OpenRow(0, 0) != 5 {
 		t.Fatalf("open row = %d, want 5", ch.OpenRow(0, 0))
 	}
 	// Second ACT to same bank must fail (row open).
-	if ch.TryActivate(tm.TRC, 0, 0, 6) {
+	if actOK(ch, tm.TRC, 0, 0, 6) {
 		t.Fatal("ACT succeeded with row open")
 	}
 	// CAS before tRCD must fail.
@@ -115,10 +115,10 @@ func TestActivateReadPrechargeFlow(t *testing.T) {
 		t.Fatalf("data start = %d, want %d", ds, want)
 	}
 	// Precharge before tRAS must fail.
-	if ch.TryPrecharge(tm.TRAS-1, 0, 0) {
+	if preOK(ch, tm.TRAS-1, 0, 0) {
 		t.Fatal("precharge before tRAS")
 	}
-	if !ch.TryPrecharge(tm.TRAS, 0, 0) {
+	if !preOK(ch, tm.TRAS, 0, 0) {
 		t.Fatal("precharge at tRAS failed")
 	}
 	if ch.OpenRow(0, 0) != -1 {
@@ -129,10 +129,10 @@ func TestActivateReadPrechargeFlow(t *testing.T) {
 	if tm.TRC > earliest {
 		earliest = tm.TRC
 	}
-	if ch.TryActivate(earliest-1, 0, 0, 7) {
+	if actOK(ch, earliest-1, 0, 0, 7) {
 		t.Fatal("ACT before tRP/tRC")
 	}
-	if !ch.TryActivate(earliest, 0, 0, 7) {
+	if !actOK(ch, earliest, 0, 0, 7) {
 		t.Fatal("ACT after tRP failed")
 	}
 	if ch.Stat.Acts != 2 || ch.Stat.Reads != 1 {
@@ -143,7 +143,7 @@ func TestActivateReadPrechargeFlow(t *testing.T) {
 func TestRowHitIsFasterThanRowMiss(t *testing.T) {
 	ch := newDDR3(t)
 	tm := ch.Cfg.Timing
-	ch.TryActivate(0, 0, 0, 1)
+	actOK(ch, 0, 0, 0, 1)
 	if _, ok := ch.TryCAS(tm.TRCD, 0, 0, 1, AccessRead, false); !ok {
 		t.Fatal("first read failed")
 	}
@@ -157,7 +157,7 @@ func TestRowHitIsFasterThanRowMiss(t *testing.T) {
 func TestAutoPrechargeCloses(t *testing.T) {
 	ch := NewChannel(DDR3WordConfig(), 1, nil)
 	tm := ch.Cfg.Timing
-	ch.TryActivate(0, 0, 0, 3)
+	actOK(ch, 0, 0, 0, 3)
 	if _, ok := ch.TryCAS(tm.TRCD, 0, 0, 3, AccessRead, true); !ok {
 		t.Fatal("read with auto-precharge failed")
 	}
@@ -169,7 +169,7 @@ func TestAutoPrechargeCloses(t *testing.T) {
 func TestWriteThenReadEnforcesTWTR(t *testing.T) {
 	ch := newDDR3(t)
 	tm := ch.Cfg.Timing
-	ch.TryActivate(0, 0, 0, 1)
+	actOK(ch, 0, 0, 0, 1)
 	ds, ok := ch.TryCAS(tm.TRCD, 0, 0, 1, AccessWrite, false)
 	if !ok {
 		t.Fatal("write failed")
@@ -190,16 +190,16 @@ func TestFourActivateWindow(t *testing.T) {
 	now := sim.Cycle(0)
 	// Issue 4 ACTs to different banks, spaced by tRRD.
 	for b := 0; b < 4; b++ {
-		if !ch.TryActivate(now, 0, b, 1) {
+		if !actOK(ch, now, 0, b, 1) {
 			t.Fatalf("ACT %d failed at %d", b, now)
 		}
 		now += tm.TRRD
 	}
 	// Fifth ACT must wait for the FAW window from the first ACT.
-	if ch.TryActivate(now, 0, 4, 1) {
+	if actOK(ch, now, 0, 4, 1) {
 		t.Fatal("fifth ACT violated tFAW")
 	}
-	if !ch.TryActivate(tm.TFAW, 0, 4, 1) {
+	if !actOK(ch, tm.TFAW, 0, 4, 1) {
 		t.Fatal("fifth ACT at tFAW failed")
 	}
 }
@@ -266,8 +266,8 @@ func TestSharedCmdBusContention(t *testing.T) {
 func TestDataBusSerializesBursts(t *testing.T) {
 	ch := newDDR3(t)
 	tm := ch.Cfg.Timing
-	ch.TryActivate(0, 0, 0, 1)
-	ch.TryActivate(tm.TRRD, 0, 1, 2)
+	actOK(ch, 0, 0, 0, 1)
+	actOK(ch, tm.TRRD, 0, 1, 2)
 	t0 := tm.TRCD + tm.TRRD
 	if _, ok := ch.TryCAS(t0, 0, 0, 1, AccessRead, false); !ok {
 		t.Fatal("first read failed")
@@ -292,17 +292,17 @@ func TestRefreshLifecycle(t *testing.T) {
 	if !ch.RefreshDue(tm.TREFI, 0) {
 		t.Fatal("refresh not due at tREFI")
 	}
-	if !ch.TryRefresh(tm.TREFI, 0) {
+	if !refOK(ch, tm.TREFI, 0) {
 		t.Fatal("refresh failed on idle rank")
 	}
 	if ch.Stat.Refreshes != 1 {
 		t.Fatal("refresh not counted")
 	}
 	// During tRFC the rank must reject commands.
-	if ch.TryActivate(tm.TREFI+tm.TRFC-1, 0, 0, 1) {
+	if actOK(ch, tm.TREFI+tm.TRFC-1, 0, 0, 1) {
 		t.Fatal("ACT during refresh")
 	}
-	if !ch.TryActivate(tm.TREFI+tm.TRFC, 0, 0, 1) {
+	if !actOK(ch, tm.TREFI+tm.TRFC, 0, 0, 1) {
 		t.Fatal("ACT after refresh failed")
 	}
 	// RLDRAM3 never owes refresh.
@@ -315,8 +315,8 @@ func TestRefreshLifecycle(t *testing.T) {
 func TestRefreshBlockedByOpenRow(t *testing.T) {
 	ch := newDDR3(t)
 	tm := ch.Cfg.Timing
-	ch.TryActivate(0, 0, 0, 1)
-	if ch.TryRefresh(tm.TREFI, 0) {
+	actOK(ch, 0, 0, 0, 1)
+	if refOK(ch, tm.TREFI, 0) {
 		t.Fatal("refresh with open row")
 	}
 }
@@ -334,17 +334,17 @@ func TestPowerDownLifecycle(t *testing.T) {
 		t.Fatal("not in powerdown")
 	}
 	// Commands must be rejected while asleep.
-	if ch.TryActivate(150, 0, 0, 1) {
+	if actOK(ch, 150, 0, 0, 1) {
 		t.Fatal("ACT while asleep")
 	}
 	wake := ch.Wake(200, 0)
 	if wake != 200+tm.TXP {
 		t.Fatalf("wake at %d, want %d", wake, 200+tm.TXP)
 	}
-	if ch.TryActivate(wake-1, 0, 0, 1) {
+	if actOK(ch, wake-1, 0, 0, 1) {
 		t.Fatal("ACT before wake complete")
 	}
-	if !ch.TryActivate(wake, 0, 0, 1) {
+	if !actOK(ch, wake, 0, 0, 1) {
 		t.Fatal("ACT after wake failed")
 	}
 	ch.Finalize(1000)
@@ -371,7 +371,7 @@ func TestDeepSleepSlowerExit(t *testing.T) {
 func TestSleepRefusedWithOpenRowOrTraffic(t *testing.T) {
 	ch := newDDR3(t)
 	tm := ch.Cfg.Timing
-	ch.TryActivate(0, 0, 0, 1)
+	actOK(ch, 0, 0, 0, 1)
 	if ch.Sleep(10, 0, false) {
 		t.Fatal("slept with open row")
 	}
@@ -382,7 +382,7 @@ func TestSleepRefusedWithOpenRowOrTraffic(t *testing.T) {
 	if ch.Sleep(tm.TRCD+1, 0, false) {
 		t.Fatal("slept with open row after CAS")
 	}
-	if !ch.TryPrecharge(tm.TRAS, 0, 0) {
+	if !preOK(ch, tm.TRAS, 0, 0) {
 		t.Fatal("precharge failed")
 	}
 	// Data burst (ends at tRCD+tRL+burst) still in flight at tRAS+1?
@@ -398,7 +398,7 @@ func TestSleepRefusedWithOpenRowOrTraffic(t *testing.T) {
 func TestUtilization(t *testing.T) {
 	ch := newDDR3(t)
 	tm := ch.Cfg.Timing
-	ch.TryActivate(0, 0, 0, 1)
+	actOK(ch, 0, 0, 0, 1)
 	ch.TryCAS(tm.TRCD, 0, 0, 1, AccessRead, false)
 	u := ch.Utilization(10 * tm.Burst)
 	if u != 0.1 {
@@ -443,13 +443,13 @@ func TestNoDataBusOverlapProperty(t *testing.T) {
 				kind = AccessWrite
 			}
 			if open := ch.OpenRow(0, bk); open == -1 {
-				ch.TryActivate(now, 0, bk, row)
+				actOK(ch, now, 0, bk, row)
 			} else if open == row {
 				if ds, ok := ch.TryCAS(now, 0, bk, row, kind, false); ok {
 					bursts = append(bursts, burst{ds, ds + tm.Burst})
 				}
 			} else {
-				ch.TryPrecharge(now, 0, bk)
+				preOK(ch, now, 0, bk)
 			}
 		}
 		for i := 1; i < len(bursts); i++ {
@@ -541,14 +541,14 @@ func TestUnifiedPredicate(t *testing.T) {
 func TestTRRDBetweenBanks(t *testing.T) {
 	ch := newDDR3(t)
 	tm := ch.Cfg.Timing
-	if !ch.TryActivate(0, 0, 0, 1) {
+	if !actOK(ch, 0, 0, 0, 1) {
 		t.Fatal("first ACT failed")
 	}
 	// Second ACT to a different bank before tRRD must fail.
-	if ch.TryActivate(tm.TRRD-1, 0, 1, 1) {
+	if actOK(ch, tm.TRRD-1, 0, 1, 1) {
 		t.Fatal("ACT violated tRRD")
 	}
-	if !ch.TryActivate(tm.TRRD, 0, 1, 1) {
+	if !actOK(ch, tm.TRRD, 0, 1, 1) {
 		t.Fatal("ACT at tRRD failed")
 	}
 }
@@ -556,7 +556,7 @@ func TestTRRDBetweenBanks(t *testing.T) {
 func TestDataBusDirectionSwitchPenalty(t *testing.T) {
 	ch := newDDR3(t)
 	tm := ch.Cfg.Timing
-	ch.TryActivate(0, 0, 0, 1)
+	actOK(ch, 0, 0, 0, 1)
 	ds, ok := ch.TryCAS(tm.TRCD, 0, 0, 1, AccessRead, false)
 	if !ok {
 		t.Fatal("read failed")
@@ -587,7 +587,7 @@ func TestRefreshReanchorsWhenOverdue(t *testing.T) {
 	// the next deadline must re-anchor to now+tREFI instead of
 	// unleashing a storm of back-to-back refreshes.
 	late := tm.TREFI * 10
-	if !ch.TryRefresh(late, 0) {
+	if !refOK(ch, late, 0) {
 		t.Fatal("overdue refresh failed")
 	}
 	if ch.RefreshDue(late+tm.TRFC, 0) {
@@ -603,8 +603,8 @@ func TestRankToRankSwitch(t *testing.T) {
 	// ranks must leave a tRTRS bubble on the data bus.
 	ch := NewChannel(DDR3Config(), 2, nil)
 	tm := ch.Cfg.Timing
-	ch.TryActivate(0, 0, 0, 1)
-	ch.TryActivate(tm.TRRD, 1, 0, 1)
+	actOK(ch, 0, 0, 0, 1)
+	actOK(ch, tm.TRRD, 1, 0, 1)
 	t0 := tm.TRCD + tm.TRRD
 	ds1, ok := ch.TryCAS(t0, 0, 0, 1, AccessRead, false)
 	if !ok {
@@ -631,5 +631,202 @@ func TestSleepWhileAsleepRefused(t *testing.T) {
 	}
 	if ch.Sleep(20, 0, false) {
 		t.Fatal("double sleep accepted")
+	}
+}
+
+// actOK, preOK, refOK adapt the (next, ok) probe signatures back to the
+// boolean form most timing tests assert on.
+func actOK(ch *Channel, t sim.Cycle, rk, bk int, row int64) bool {
+	_, ok := ch.TryActivate(t, rk, bk, row)
+	return ok
+}
+
+func preOK(ch *Channel, t sim.Cycle, rk, bk int) bool {
+	_, ok := ch.TryPrecharge(t, rk, bk)
+	return ok
+}
+
+func refOK(ch *Channel, t sim.Cycle, rk int) bool {
+	_, ok := ch.TryRefresh(t, rk)
+	return ok
+}
+
+// TestHintExactness: every failed Try* probe returns the earliest cycle
+// the same probe could succeed. For each blocked scenario the probe must
+// still fail one cycle before its hint and succeed exactly at it — this
+// is what lets the controller arm its next tick at the hint without ever
+// issuing late (or early).
+func TestHintExactness(t *testing.T) {
+	exact := func(t *testing.T, name string, next sim.Cycle, probe func(sim.Cycle) bool) {
+		t.Helper()
+		if next <= 0 || next >= Never {
+			t.Fatalf("%s: hint %d not a finite future cycle", name, next)
+		}
+		if probe(next - 1) {
+			t.Fatalf("%s: probe succeeded at hint-1 (%d)", name, next-1)
+		}
+		if !probe(next) {
+			t.Fatalf("%s: probe failed at its own hint (%d)", name, next)
+		}
+	}
+
+	t.Run("cas-trcd", func(t *testing.T) {
+		ch := newDDR3(t)
+		mustAct(t, ch, 0, 0, 0, 5)
+		next, ok := ch.TryCAS(1, 0, 0, 5, AccessRead, false)
+		if ok {
+			t.Fatal("CAS legal 1 cycle after ACT")
+		}
+		exact(t, "cas-trcd", next, func(at sim.Cycle) bool {
+			_, ok := ch.TryCAS(at, 0, 0, 5, AccessRead, false)
+			return ok
+		})
+	})
+
+	t.Run("precharge-tras", func(t *testing.T) {
+		ch := newDDR3(t)
+		mustAct(t, ch, 0, 0, 0, 5)
+		next, ok := ch.TryPrecharge(1, 0, 0)
+		if ok {
+			t.Fatal("PRE legal 1 cycle after ACT")
+		}
+		exact(t, "precharge-tras", next, func(at sim.Cycle) bool {
+			_, ok := ch.TryPrecharge(at, 0, 0)
+			return ok
+		})
+	})
+
+	t.Run("activate-trp-trc", func(t *testing.T) {
+		ch := newDDR3(t)
+		tm := ch.Cfg.Timing
+		mustAct(t, ch, 0, 0, 0, 5)
+		if !preOK(ch, tm.TRAS, 0, 0) {
+			t.Fatal("precharge at tRAS failed")
+		}
+		next, ok := ch.TryActivate(tm.TRAS+1, 0, 0, 6)
+		if ok {
+			t.Fatal("ACT legal right after PRE")
+		}
+		exact(t, "activate-trp-trc", next, func(at sim.Cycle) bool {
+			_, ok := ch.TryActivate(at, 0, 0, 6)
+			return ok
+		})
+	})
+
+	t.Run("activate-trrd", func(t *testing.T) {
+		ch := newDDR3(t)
+		mustAct(t, ch, 0, 0, 0, 5)
+		next, ok := ch.TryActivate(1, 0, 1, 5)
+		if ok {
+			t.Fatal("second ACT inside tRRD")
+		}
+		exact(t, "activate-trrd", next, func(at sim.Cycle) bool {
+			_, ok := ch.TryActivate(at, 0, 1, 5)
+			return ok
+		})
+	})
+
+	t.Run("activate-tfaw", func(t *testing.T) {
+		ch := newDDR3(t)
+		tm := ch.Cfg.Timing
+		at := sim.Cycle(0)
+		for bk := 0; bk < 4; bk++ {
+			for {
+				if _, ok := ch.TryActivate(at, 0, bk, 5); ok {
+					break
+				}
+				at++
+			}
+		}
+		next, ok := ch.TryActivate(at+tm.TRRD, 0, 4, 5)
+		if ok {
+			t.Fatal("fifth ACT inside tFAW window")
+		}
+		exact(t, "activate-tfaw", next, func(c sim.Cycle) bool {
+			_, ok := ch.TryActivate(c, 0, 4, 5)
+			return ok
+		})
+	})
+
+	t.Run("cas-twtr", func(t *testing.T) {
+		ch := newDDR3(t)
+		tm := ch.Cfg.Timing
+		mustAct(t, ch, 0, 0, 0, 5)
+		if _, ok := ch.TryCAS(tm.TRCD, 0, 0, 5, AccessWrite, false); !ok {
+			t.Fatal("write at tRCD failed")
+		}
+		next, ok := ch.TryCAS(tm.TRCD+tm.BusCycle, 0, 0, 5, AccessRead, false)
+		if ok {
+			t.Fatal("read legal immediately after write burst start")
+		}
+		exact(t, "cas-twtr", next, func(at sim.Cycle) bool {
+			_, ok := ch.TryCAS(at, 0, 0, 5, AccessRead, false)
+			return ok
+		})
+	})
+
+	t.Run("refresh-after-precharge", func(t *testing.T) {
+		ch := newDDR3(t)
+		tm := ch.Cfg.Timing
+		mustAct(t, ch, 0, 0, 0, 5)
+		if !preOK(ch, tm.TRAS, 0, 0) {
+			t.Fatal("precharge at tRAS failed")
+		}
+		next, ok := ch.TryRefresh(tm.TRAS+1, 0)
+		if ok {
+			t.Fatal("refresh legal before tRP settles")
+		}
+		exact(t, "refresh-after-precharge", next, func(at sim.Cycle) bool {
+			_, ok := ch.TryRefresh(at, 0)
+			return ok
+		})
+	})
+
+	t.Run("wake-latency", func(t *testing.T) {
+		ch := newDDR3(t)
+		if !ch.Sleep(10, 0, false) {
+			t.Fatal("sleep refused")
+		}
+		wake := ch.Wake(20, 0)
+		next, ok := ch.TryActivate(21, 0, 0, 5)
+		if ok {
+			t.Fatal("ACT legal during power-down exit")
+		}
+		if next != wake {
+			t.Fatalf("hint %d, want wake completion %d", next, wake)
+		}
+		exact(t, "wake-latency", next, func(at sim.Cycle) bool {
+			_, ok := ch.TryActivate(at, 0, 0, 5)
+			return ok
+		})
+	})
+
+	t.Run("next-refresh-due", func(t *testing.T) {
+		ch := newDDR3(t)
+		tm := ch.Cfg.Timing
+		due := ch.NextRefreshDue(0)
+		if due != tm.TREFI {
+			t.Fatalf("first refresh due at %d, want tREFI %d", due, tm.TREFI)
+		}
+		if ch.RefreshDue(due-1, 0) {
+			t.Fatal("refresh due one cycle early")
+		}
+		if !ch.RefreshDue(due, 0) {
+			t.Fatal("refresh not due at NextRefreshDue")
+		}
+		if _, ok := ch.TryRefresh(due, 0); !ok {
+			t.Fatal("refresh failed at its due cycle on an idle rank")
+		}
+		if got := ch.NextRefreshDue(0); got != due+tm.TREFI {
+			t.Fatalf("next due %d after refresh, want %d", got, due+tm.TREFI)
+		}
+	})
+}
+
+// mustAct activates (rk, bk, row) at t or fails the test.
+func mustAct(t *testing.T, ch *Channel, at sim.Cycle, rk, bk int, row int64) {
+	t.Helper()
+	if !actOK(ch, at, rk, bk, row) {
+		t.Fatalf("ACT r%d b%d row%d at %d failed", rk, bk, row, at)
 	}
 }

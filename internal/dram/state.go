@@ -97,6 +97,26 @@ func (r *rank) awake(t sim.Cycle) bool {
 	return r.power == PSActive && t >= r.wakeAt && t >= r.refreshUntil
 }
 
+// awakeAt returns the earliest cycle commands may issue to this rank:
+// the later of power-down exit and refresh completion, or Never while
+// the rank is powered down (leaving needs an external Wake call, which
+// every enqueue and refresh pass performs).
+func (r *rank) awakeAt() sim.Cycle {
+	if r.power != PSActive {
+		return Never
+	}
+	return maxc(r.wakeAt, r.refreshUntil)
+}
+
+// fawReadyAt returns the earliest cycle a fourth-activate window permits
+// another ACT (zero when tFAW is unmodelled).
+func (r *rank) fawReadyAt(tFAW sim.Cycle) sim.Cycle {
+	if tFAW == 0 {
+		return 0
+	}
+	return r.fawRing[r.fawIdx] + tFAW
+}
+
 // transition moves the rank to power state s at time t, accumulating
 // residency in the previous state.
 func (r *rank) transition(t sim.Cycle, s PowerState) {

@@ -47,6 +47,111 @@ func BenchmarkControllerReadRoundtrip(b *testing.B) {
 	}
 }
 
+// drainAll runs the engine until the controller has no queued requests.
+func drainAll(b *testing.B, eng *sim.Engine, c *Controller) {
+	for c.Pending() > 0 {
+		if eng.RunUntil(eng.Now()+10_000) == 0 {
+			b.Fatalf("controller wedged with %d pending at cycle %d", c.Pending(), eng.Now())
+		}
+	}
+}
+
+// ddr3Addr builds a channel-local address for the DDR3 open-page mapper
+// (cols lowest, then banks, then ranks, then rows).
+func ddr3Addr(row, bank, col uint64) uint64 {
+	g := dram.DDR3Geometry()
+	return (row*1+0)*uint64(g.Banks)*uint64(g.ColsPerRow) + bank*uint64(g.ColsPerRow) + col
+}
+
+// BenchmarkControllerRowHitHeavy drives bursts that stay in one open
+// row: the row-hit pass should find every request without scanning
+// timing-blocked banks.
+func BenchmarkControllerRowHitHeavy(b *testing.B) {
+	eng, c := benchController()
+	onComplete := func(*Request) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 16; j++ {
+			r := c.Pool.Get()
+			r.Addr = ddr3Addr(uint64(i%64), 0, uint64(j*4))
+			r.OnComplete = onComplete
+			if !c.EnqueueRead(r) {
+				b.Fatal("enqueue rejected")
+			}
+		}
+		drainAll(b, eng, c)
+	}
+}
+
+// BenchmarkControllerRowMissHeavy strides rows within one bank, so every
+// request pays precharge + activate and the queue sits timing-blocked on
+// tRC between issues — the worst case for per-cycle tick polling.
+func BenchmarkControllerRowMissHeavy(b *testing.B) {
+	eng, c := benchController()
+	onComplete := func(*Request) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 16; j++ {
+			r := c.Pool.Get()
+			r.Addr = ddr3Addr(uint64(i*16+j), 0, 0)
+			r.OnComplete = onComplete
+			if !c.EnqueueRead(r) {
+				b.Fatal("enqueue rejected")
+			}
+		}
+		drainAll(b, eng, c)
+	}
+}
+
+// BenchmarkControllerIdleHeavy issues one read every 20k cycles: the
+// cost of parking the tick loop, sleeping the rank, and waking for the
+// next request (plus refresh maintenance in between).
+func BenchmarkControllerIdleHeavy(b *testing.B) {
+	eng, c := benchController()
+	onComplete := func(*Request) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := c.Pool.Get()
+		r.Addr = ddr3Addr(uint64(i%1024), uint64(i%8), 0)
+		r.OnComplete = onComplete
+		if !c.EnqueueRead(r) {
+			b.Fatal("enqueue rejected")
+		}
+		eng.RunUntil(eng.Now() + 20_000)
+	}
+}
+
+// BenchmarkControllerDeepQueue fills the read queue to capacity with
+// traffic spread over every bank (plus enough writes to trip a drain)
+// and runs it dry: the FR-FCFS scan cost at maximum occupancy.
+func BenchmarkControllerDeepQueue(b *testing.B) {
+	eng, c := benchController()
+	onComplete := func(*Request) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < c.Cfg.ReadQueueSize; j++ {
+			r := c.Pool.Get()
+			r.Addr = ddr3Addr(uint64(i*48+j), uint64(j%8), uint64(j%128))
+			r.OnComplete = onComplete
+			if !c.EnqueueRead(r) {
+				b.Fatal("enqueue rejected")
+			}
+		}
+		for j := 0; j < c.Cfg.HighWatermark+1; j++ {
+			w := c.Pool.Get()
+			w.Addr = ddr3Addr(uint64(i*48+j), uint64((j+4)%8), 1)
+			if !c.EnqueueWrite(w) {
+				b.Fatal("write enqueue rejected")
+			}
+		}
+		drainAll(b, eng, c)
+	}
+}
+
 // TestControllerSteadyStateZeroAlloc pins the controller's hot path to
 // zero allocations per pooled read once queues and the event heap have
 // reached steady-state capacity.

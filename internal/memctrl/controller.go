@@ -28,6 +28,15 @@ type Request struct {
 
 	openedRow bool // this request triggered its own ACT (row miss)
 
+	// Intrusive queue links, owned by the controller while the request
+	// is queued: the global arrival-order list and the per-(rank,bank)
+	// list (see queue.go). seqNo is the controller-local arrival serial
+	// used to restore exact age order when candidates are gathered
+	// bank-by-bank.
+	next, prev         *Request
+	bankNext, bankPrev *Request
+	seqNo              uint64
+
 	// OnIssue fires synchronously when the column access issues, with
 	// DataStart and DataEnd filled in: the hook the cache hierarchy
 	// uses to schedule first-beat (critical-word) delivery.
@@ -66,6 +75,14 @@ type Config struct {
 	// (RLDRAM3 has no power-down modes).
 	SleepAfter sim.Cycle
 	DeepSleep  bool // §7.2 Malladi-style deep sleep instead of fast PD
+
+	// PerCycle disables timing-directed tick skipping: the controller
+	// re-arms its scheduling tick every bus cycle while work is queued,
+	// exactly like the pre-skip implementation. Scheduling decisions
+	// are identical either way (the differential tests assert it); the
+	// per-cycle mode exists as the reference for those tests and as a
+	// diagnostic escape hatch.
+	PerCycle bool
 }
 
 // DefaultConfig returns the Table 1 controller parameters for a channel
@@ -116,14 +133,44 @@ type Controller struct {
 	// requests alive for the caller (tests).
 	Pool *Pool
 
-	rq []*Request
-	wq []*Request
+	// CmdTrace, when set, observes every DRAM command the controller
+	// issues: 'A' activate, 'P' precharge, 'R'/'W' column access,
+	// 'U' unified (RLDRAM-style) access, 'F' refresh. Debug/test hook;
+	// nil in production.
+	CmdTrace func(op byte, at sim.Cycle, rank, bank int, row int64)
+
+	rdq reqQueue
+	wrq reqQueue
 
 	draining     bool
 	ticking      bool
 	maintArmed   bool
 	sleepArmed   bool
 	lastActivity sim.Cycle
+
+	// Tick-skipping session state. A session starts at kick() and ends
+	// when the controller parks. anchor is the session's first tick:
+	// all session ticks land on the grid anchor+k*busCycle, mirroring
+	// the cycles the per-cycle reference would tick at. sessPhase
+	// orders this session's ticks against other controllers' same-cycle
+	// ticks (engine phase lane) and invalidates stale tick events from
+	// superseded arming; nextTickAt is the earliest armed tick.
+	anchor     sim.Cycle
+	nextTickAt sim.Cycle
+	sessPhase  uint64
+
+	// Scan scratch. nextReady accumulates the minimum next-actionable
+	// cycle reported by failed timing probes during one tick; scanNow
+	// is that tick's timestamp (hints at or before it are ignored);
+	// scanStamp keys the per-bank claim marks; cands is the reusable
+	// candidate buffer, sized to rank*bank count; seqCtr feeds
+	// Request.seqNo.
+	nextReady sim.Cycle
+	scanNow   sim.Cycle
+	scanStamp uint64
+	cands     []*Request
+	seqCtr    uint64
+	geomBanks int
 
 	// Preallocated event handlers: every recurring engine event the
 	// controller schedules dispatches on one of these instead of a fresh
@@ -137,10 +184,15 @@ type Controller struct {
 	Stats Stat
 }
 
-// tickDispatch adapts the per-bus-cycle scheduling step to sim.EventHandler.
+// tickDispatch adapts the scheduling step to the engine's handler
+// interfaces: OnEvent for the per-cycle reference mode (normal event
+// lane) and OnPhasedEvent for tick-skipping sessions (phase lane, with
+// stale-event filtering).
 type tickDispatch struct{ c *Controller }
 
 func (d tickDispatch) OnEvent(any) { d.c.tick() }
+
+func (d tickDispatch) OnPhasedEvent(_ any, phase uint64) { d.c.phasedTick(phase) }
 
 // maintDispatch runs the deferred refresh-maintenance check.
 type maintDispatch struct{ c *Controller }
@@ -187,14 +239,15 @@ func New(eng *sim.Engine, ch *dram.Channel, cfg Config) *Controller {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	nBanks := ch.Ranks() * ch.Cfg.Geom.Banks
 	c := &Controller{
 		Eng: eng, Ch: ch, Cfg: cfg,
-		Map: MapperFor(ch.Cfg, ch.Ranks()),
-		// Queues never outgrow their configured bounds; sizing them up
-		// front keeps enqueue from ever reallocating.
-		rq: make([]*Request, 0, cfg.ReadQueueSize),
-		wq: make([]*Request, 0, cfg.WriteQueueSize),
+		Map:       MapperFor(ch.Cfg, ch.Ranks()),
+		geomBanks: ch.Cfg.Geom.Banks,
+		cands:     make([]*Request, 0, nBanks),
 	}
+	c.rdq.init(nBanks)
+	c.wrq.init(nBanks)
 	c.tickH = tickDispatch{c}
 	c.maintH = maintDispatch{c}
 	c.sleepH = sleepDispatch{c}
@@ -202,14 +255,17 @@ func New(eng *sim.Engine, ch *dram.Channel, cfg Config) *Controller {
 	return c
 }
 
+// bankIndex flattens a coordinate to the per-bank queue index.
+func (c *Controller) bankIndex(co Coord) int { return co.Rank*c.geomBanks + co.Bank }
+
 // CanAcceptRead reports whether the read queue has space.
-func (c *Controller) CanAcceptRead() bool { return len(c.rq) < c.Cfg.ReadQueueSize }
+func (c *Controller) CanAcceptRead() bool { return c.rdq.n < c.Cfg.ReadQueueSize }
 
 // CanAcceptWrite reports whether the write queue has space.
-func (c *Controller) CanAcceptWrite() bool { return len(c.wq) < c.Cfg.WriteQueueSize }
+func (c *Controller) CanAcceptWrite() bool { return c.wrq.n < c.Cfg.WriteQueueSize }
 
 // QueueDepths reports current occupancy (reads, writes).
-func (c *Controller) QueueDepths() (int, int) { return len(c.rq), len(c.wq) }
+func (c *Controller) QueueDepths() (int, int) { return c.rdq.n, c.wrq.n }
 
 // RegisterMetrics registers this controller's counters, latency
 // breakdown, and live queue depths under prefix (e.g. "mem.g0.c1.").
@@ -223,8 +279,8 @@ func (c *Controller) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+"writes_done", &st.WritesDone)
 	reg.Counter(prefix+"reads_queued", &st.ReadsQueued)
 	reg.Counter(prefix+"drains", &st.Drains)
-	reg.Gauge(prefix+"read_q", func() float64 { return float64(len(c.rq)) })
-	reg.Gauge(prefix+"write_q", func() float64 { return float64(len(c.wq)) })
+	reg.Gauge(prefix+"read_q", func() float64 { return float64(c.rdq.n) })
+	reg.Gauge(prefix+"write_q", func() float64 { return float64(c.wrq.n) })
 }
 
 // EnqueueRead queues a read. It returns false, leaving the request
@@ -237,7 +293,9 @@ func (c *Controller) EnqueueRead(r *Request) bool {
 	r.Kind = dram.AccessRead
 	r.Arrive = c.Eng.Now()
 	r.Coord = c.Map.Map(r.Addr)
-	c.rq = append(c.rq, r)
+	r.seqNo = c.seqCtr
+	c.seqCtr++
+	c.rdq.push(r, c.bankIndex(r.Coord))
 	c.Stats.ReadsQueued++
 	c.wakeRank(r.Coord.Rank)
 	c.kick()
@@ -252,7 +310,9 @@ func (c *Controller) EnqueueWrite(r *Request) bool {
 	r.Kind = dram.AccessWrite
 	r.Arrive = c.Eng.Now()
 	r.Coord = c.Map.Map(r.Addr)
-	c.wq = append(c.wq, r)
+	r.seqNo = c.seqCtr
+	c.seqCtr++
+	c.wrq.push(r, c.bankIndex(r.Coord))
 	c.wakeRank(r.Coord.Rank)
 	c.kick()
 	return true
@@ -265,21 +325,98 @@ func (c *Controller) wakeRank(rk int) {
 	}
 }
 
-// kick starts the tick loop if it is not running.
+// kick makes sure a scheduling tick will observe the enqueue that
+// triggered it. With no session running it starts one at the current
+// cycle. With a session already ticking, it pulls the next tick back to
+// the first grid cycle at which the new request is architecturally
+// visible — the same cycle the per-cycle reference would first act on
+// it: a request enqueued from event context (write-back drains, ECC
+// completions) is seen by that cycle's own tick, because every such
+// producer event was scheduled more than a bus cycle ahead and so runs
+// before the tick; one enqueued from core-step context is only seen
+// from the next grid cycle on, because the current cycle's tick already
+// fired before the cores stepped.
 func (c *Controller) kick() {
+	if c.Cfg.PerCycle {
+		if c.ticking {
+			return
+		}
+		c.ticking = true
+		c.Eng.ScheduleEvent(0, c.tickH, nil)
+		return
+	}
+	now := c.Eng.Now()
 	if c.ticking {
+		var g sim.Cycle
+		if c.Eng.InDispatch() {
+			g = c.gridUp(now)
+		} else {
+			g = c.gridUp(now + 1)
+		}
+		if g < c.nextTickAt {
+			c.armTick(g)
+		}
 		return
 	}
 	c.ticking = true
-	c.Eng.ScheduleEvent(0, c.tickH, nil)
+	c.sessPhase = c.Eng.NewPhase()
+	c.anchor = now
+	c.armTick(now)
 }
 
 // busCycle returns the scheduling quantum.
 func (c *Controller) busCycle() sim.Cycle { return c.Ch.Cfg.Timing.BusCycle }
 
-// tick is the per-bus-cycle scheduling step.
+// gridUp returns the smallest session-grid cycle at or after t.
+func (c *Controller) gridUp(t sim.Cycle) sim.Cycle {
+	bus := c.busCycle()
+	d := t - c.anchor
+	if rem := d % bus; rem != 0 {
+		d += bus - rem
+	}
+	return c.anchor + d
+}
+
+// armTick schedules a session tick at cycle at (a grid cycle) and makes
+// it the session's live tick. Previously armed events for later cycles
+// are left in the queue and discarded by the phase/time guard when they
+// fire.
+func (c *Controller) armTick(at sim.Cycle) {
+	c.nextTickAt = at
+	c.Eng.SchedulePhasedAt(at, c.sessPhase, c.tickH, nil)
+}
+
+// phasedTick filters stale tick events: only the live arming of the
+// live session runs. Everything else — ticks armed by a parked session,
+// or armings superseded by an earlier pull — drops here.
+func (c *Controller) phasedTick(phase uint64) {
+	if !c.ticking || phase != c.sessPhase || c.Eng.Now() != c.nextTickAt {
+		return
+	}
+	c.tick()
+}
+
+// hint folds a next-actionable-cycle report from a failed timing probe
+// into the tick's minimum. Hints at or before the current tick carry no
+// information (the command is blocked on controller action, e.g. a
+// refresh waiting for precharges, which this same tick performs).
+func (c *Controller) hint(at sim.Cycle) {
+	if at > c.scanNow && at < c.nextReady {
+		c.nextReady = at
+	}
+}
+
+// tick is one scheduling step: refresh first, then at most one data
+// command. In skipping mode the next tick is armed at the earliest
+// cycle anything can change — one bus cycle after an issue, or the
+// minimum next-actionable hint gathered from the failed probes — so
+// timing-blocked windows cost one event instead of thousands.
 func (c *Controller) tick() {
 	now := c.Eng.Now()
+	c.scanStamp++
+	c.scanNow = now
+	c.nextReady = dram.Never
+
 	issued := c.doRefresh(now)
 	if !issued {
 		issued = c.schedule(now)
@@ -288,8 +425,22 @@ func (c *Controller) tick() {
 		c.lastActivity = now
 	}
 
-	if len(c.rq) > 0 || len(c.wq) > 0 || c.refreshPending(now) {
-		c.Eng.ScheduleEvent(c.busCycle(), c.tickH, nil)
+	if c.rdq.n > 0 || c.wrq.n > 0 || c.refreshPending(now) {
+		if c.Cfg.PerCycle {
+			c.Eng.ScheduleEvent(c.busCycle(), c.tickH, nil)
+			return
+		}
+		next := now + c.busCycle()
+		if !issued {
+			c.promoteHints(now, &c.rdq)
+			c.promoteHints(now, &c.wrq)
+			if c.nextReady < dram.Never {
+				next = c.gridUp(c.nextReady)
+			}
+			// A blocked scan always yields a hint; if none surfaced,
+			// fall back to per-cycle polling, which is always sound.
+		}
+		c.armTick(next)
 		return
 	}
 	// Idle: consider power-down, then park the tick loop. A maintenance
@@ -298,6 +449,21 @@ func (c *Controller) tick() {
 	c.ticking = false
 	if c.Ch.Cfg.Timing.TREFI > 0 {
 		c.scheduleMaintenance(now)
+	}
+}
+
+// promoteHints folds the prefetch-promotion deadlines of q into the
+// tick's next-actionable minimum: a promotion changes pass priorities
+// (and therefore what the scan may issue) without any DRAM state
+// change, so a blocked controller must wake when one occurs.
+func (c *Controller) promoteHints(now sim.Cycle, q *reqQueue) {
+	if q.nPrefetch == 0 {
+		return
+	}
+	for r := q.head; r != nil; r = r.next {
+		if r.Prefetch && now-r.Arrive < c.Cfg.PrefetchAge {
+			c.hint(r.Arrive + c.Cfg.PrefetchAge)
+		}
 	}
 }
 
@@ -320,11 +486,16 @@ func (c *Controller) scheduleMaintenance(now sim.Cycle) {
 		return
 	}
 	c.maintArmed = true
-	next := sim.Cycle(1<<62 - 1)
+	next := dram.Never
 	for rk := 0; rk < c.Ch.Ranks(); rk++ {
-		if due := c.refreshDueAt(rk); due < next {
+		if due := c.Ch.NextRefreshDue(rk); due < next {
 			next = due
 		}
+	}
+	if next == dram.Never {
+		// Refresh unmodelled (TREFI 0): nothing to maintain.
+		c.maintArmed = false
+		return
 	}
 	delay := next - now
 	if delay < 0 {
@@ -353,34 +524,35 @@ func (c *Controller) maintTick() {
 	}
 }
 
-// refreshDueAt approximates the next refresh deadline for maintenance
-// scheduling (the channel tracks the exact state).
-func (c *Controller) refreshDueAt(rk int) sim.Cycle {
-	now := c.Eng.Now()
-	if c.Ch.RefreshDue(now, rk) {
-		return now
-	}
-	// The channel does not expose the exact deadline; poll one interval
-	// out. Slight lateness only delays refresh, which the due check
-	// then prioritizes.
-	return now + c.Ch.Cfg.Timing.TREFI
-}
-
 // doRefresh services overdue refreshes with priority over data traffic.
 // Open banks are precharged first. Returns true if a command issued.
 func (c *Controller) doRefresh(now sim.Cycle) bool {
+	if c.Ch.Cfg.Timing.TREFI == 0 {
+		return false
+	}
 	for rk := 0; rk < c.Ch.Ranks(); rk++ {
 		if !c.Ch.RefreshDue(now, rk) {
+			// The session must wake when this rank next falls due even
+			// if the data path stays blocked past that point.
+			c.hint(c.Ch.NextRefreshDue(rk))
 			continue
 		}
 		c.wakeRank(rk)
-		if c.Ch.TryRefresh(now, rk) {
+		if next, ok := c.Ch.TryRefresh(now, rk); ok {
+			c.traceCmd('F', now, rk, -1, -1)
 			return true
+		} else {
+			c.hint(next)
 		}
 		// Precharge any open bank so refresh can proceed.
-		for bk := 0; bk < c.Ch.Cfg.Geom.Banks; bk++ {
-			if c.Ch.OpenRow(rk, bk) != -1 && c.Ch.TryPrecharge(now, rk, bk) {
-				return true
+		for bk := 0; bk < c.geomBanks; bk++ {
+			if c.Ch.OpenRow(rk, bk) != -1 {
+				if next, ok := c.Ch.TryPrecharge(now, rk, bk); ok {
+					c.traceCmd('P', now, rk, bk, -1)
+					return true
+				} else {
+					c.hint(next)
+				}
 			}
 		}
 	}
@@ -427,7 +599,7 @@ func (c *Controller) armSleepCheck(delay sim.Cycle) {
 // sleepTick is the deferred power-down re-check armed by armSleepCheck.
 func (c *Controller) sleepTick() {
 	c.sleepArmed = false
-	if !c.ticking && len(c.rq) == 0 && len(c.wq) == 0 {
+	if !c.ticking && c.rdq.n == 0 && c.wrq.n == 0 {
 		c.maybeSleep(c.Eng.Now())
 	}
 }
@@ -435,9 +607,11 @@ func (c *Controller) sleepTick() {
 // closeAllBanks precharges every open bank; returns true if all idle.
 func (c *Controller) closeAllBanks(now sim.Cycle, rk int) bool {
 	all := true
-	for bk := 0; bk < c.Ch.Cfg.Geom.Banks; bk++ {
+	for bk := 0; bk < c.geomBanks; bk++ {
 		if c.Ch.OpenRow(rk, bk) != -1 {
-			if !c.Ch.TryPrecharge(now, rk, bk) {
+			if _, ok := c.Ch.TryPrecharge(now, rk, bk); ok {
+				c.traceCmd('P', now, rk, bk, -1)
+			} else {
 				all = false
 			}
 		}
@@ -451,40 +625,91 @@ func (c *Controller) schedule(now sim.Cycle) bool {
 	// Write drain hysteresis (high/low watermark, Table 1) plus
 	// opportunistic draining when there are no reads at all.
 	if c.draining {
-		if len(c.wq) <= c.Cfg.LowWatermark {
+		if c.wrq.n <= c.Cfg.LowWatermark {
 			c.draining = false
 		}
-	} else if len(c.wq) >= c.Cfg.HighWatermark {
+	} else if c.wrq.n >= c.Cfg.HighWatermark {
 		c.draining = true
 		c.Stats.Drains++
 	}
-	useWrites := c.draining || (len(c.rq) == 0 && len(c.wq) > 0)
+	useWrites := c.draining || (c.rdq.n == 0 && c.wrq.n > 0)
 
 	if useWrites {
-		if c.issueFrom(now, c.wq, true) {
+		if c.issueFrom(now, &c.wrq, true) {
 			return true
 		}
 		// Fall through: if no write could issue, try reads anyway.
-		if len(c.rq) > 0 {
-			return c.issueFrom(now, c.rq, false)
+		if c.rdq.n > 0 {
+			return c.issueFrom(now, &c.rdq, false)
 		}
 		return false
 	}
-	if c.issueFrom(now, c.rq, false) {
+	if c.issueFrom(now, &c.rdq, false) {
 		return true
 	}
 	// Opportunistic write CAS while reads are blocked.
-	if len(c.wq) > 0 {
-		return c.issueFrom(now, c.wq, true)
+	if c.wrq.n > 0 {
+		return c.issueFrom(now, &c.wrq, true)
 	}
 	return false
+}
+
+// promoted reports whether r competes at demand priority (pass 0):
+// demands always, prefetches once they age past the promotion
+// threshold.
+func (c *Controller) promoted(r *Request, now sim.Cycle) bool {
+	return !r.Prefetch || now-r.Arrive >= c.Cfg.PrefetchAge
+}
+
+// addCand inserts r into the candidate buffer keeping arrival (seqNo)
+// order, so probes fire oldest-first exactly as a scan of the global
+// list would.
+func (c *Controller) addCand(r *Request) {
+	cs := append(c.cands, r)
+	for i := len(cs) - 1; i > 0 && cs[i-1].seqNo > r.seqNo; i-- {
+		cs[i], cs[i-1] = cs[i-1], cs[i]
+	}
+	c.cands = cs
+}
+
+// rowHitIn returns the oldest request in bq matching the open row at
+// the wanted priority (pass 0 = promoted, pass 1 = unpromoted). One
+// candidate per bank suffices: a queue holds a single access kind, so
+// all same-bank same-row requests see an identical TryCAS constraint
+// set and the oldest fails only if all would.
+func (c *Controller) rowHitIn(bq *bankList, open int64, pass int, now sim.Cycle) *Request {
+	want := pass == 0
+	for r := bq.head; r != nil; r = r.bankNext {
+		if r.Coord.Row == open && c.promoted(r, now) == want {
+			return r
+		}
+	}
+	return nil
+}
+
+// oldestPromoted returns bq's oldest demand-priority request, or nil.
+func (c *Controller) oldestPromoted(bq *bankList, now sim.Cycle) *Request {
+	for r := bq.head; r != nil; r = r.bankNext {
+		if c.promoted(r, now) {
+			return r
+		}
+		if bq.nDemand == 0 {
+			// The oldest prefetch is unaged, so every younger one is
+			// too, and the bank holds no demands: nothing is promoted.
+			return nil
+		}
+	}
+	return nil
 }
 
 // issueFrom applies FR-FCFS to one queue: first a CAS for any request
 // whose row is already open (row hit), then the oldest request's next
 // step (precharge a conflicting row or activate). Demand requests beat
 // prefetches unless the prefetch has aged past the promotion threshold.
-func (c *Controller) issueFrom(now sim.Cycle, q []*Request, isWrite bool) bool {
+// Only banks with pending work are visited; per-bank candidates are
+// gathered and then probed in arrival order, which reproduces the exact
+// issue decisions of an oldest-first scan of the whole queue.
+func (c *Controller) issueFrom(now sim.Cycle, q *reqQueue, isWrite bool) bool {
 	closePage := c.Ch.Cfg.Policy == dram.ClosePage
 	rldram := c.Ch.Cfg.Unified()
 
@@ -492,15 +717,27 @@ func (c *Controller) issueFrom(now sim.Cycle, q []*Request, isWrite bool) bool {
 	// open rows, and plain FCFS skips the first-ready pass entirely.
 	if !rldram && !c.Cfg.FCFS {
 		for pass := 0; pass < 2; pass++ {
-			for _, r := range q {
-				if c.deprioritized(r, pass, now) {
+			if pass == 1 && q.nPrefetch == 0 {
+				break // an empty prefetch set has no unpromoted requests
+			}
+			c.cands = c.cands[:0]
+			for _, bi := range q.active {
+				rk, bk := int(bi)/c.geomBanks, int(bi)%c.geomBanks
+				open := c.Ch.OpenRow(rk, bk)
+				if open == -1 {
 					continue
 				}
-				if c.Ch.OpenRow(r.Coord.Rank, r.Coord.Bank) == r.Coord.Row {
-					if ds, ok := c.Ch.TryCAS(now, r.Coord.Rank, r.Coord.Bank, r.Coord.Row, r.Kind, closePage); ok {
-						c.finishIssue(r, now, ds, isWrite)
-						return true
-					}
+				if r := c.rowHitIn(&q.banks[bi], open, pass, now); r != nil {
+					c.addCand(r)
+				}
+			}
+			for _, r := range c.cands {
+				co := r.Coord
+				if ds, ok := c.Ch.TryCAS(now, co.Rank, co.Bank, co.Row, r.Kind, closePage); ok {
+					c.finishIssue(r, now, ds, isWrite)
+					return true
+				} else {
+					c.hint(ds)
 				}
 			}
 		}
@@ -510,44 +747,61 @@ func (c *Controller) issueFrom(now sim.Cycle, q []*Request, isWrite bool) bool {
 	// Each bank is driven by its oldest eligible request only (younger
 	// requests to the same bank must not thrash its row), but requests
 	// to other banks may proceed in the same scan — that bank-level
-	// parallelism keeps queue delay near zero at low load.
-	var claimed [64]bool // rank*banks+bank; covers 4 ranks x 16 banks
+	// parallelism keeps queue delay near zero at low load. A bank with
+	// any demand-priority request is claimed by its oldest such request
+	// whether or not the probe succeeds, which shuts pass 1 out of the
+	// bank exactly as the claim marks of a full-queue scan would.
 	for pass := 0; pass < 2; pass++ {
-		for _, r := range q {
-			if c.deprioritized(r, pass, now) {
-				continue
-			}
-			co := r.Coord
-			idx := co.Rank*c.Ch.Cfg.Geom.Banks + co.Bank
-			if idx < len(claimed) {
-				if claimed[idx] {
-					continue // an older request owns this bank
+		if pass == 1 && q.nPrefetch == 0 {
+			break
+		}
+		c.cands = c.cands[:0]
+		for _, bi := range q.active {
+			bq := &q.banks[bi]
+			if pass == 0 {
+				if r := c.oldestPromoted(bq, now); r != nil {
+					bq.claimStamp = c.scanStamp
+					c.addCand(r)
 				}
-				claimed[idx] = true
+			} else if bq.claimStamp != c.scanStamp {
+				c.addCand(bq.head)
 			}
+		}
+		for _, r := range c.cands {
+			co := r.Coord
 			if rldram {
 				if ds, ok := c.Ch.TryAccess(now, co.Rank, co.Bank, r.Kind); ok {
 					r.openedRow = true // close-page: every access opens its row
 					c.finishIssue(r, now, ds, isWrite)
 					return true
+				} else {
+					c.hint(ds)
 				}
 				continue
 			}
 			open := c.Ch.OpenRow(co.Rank, co.Bank)
 			switch {
 			case open == -1:
-				if c.Ch.TryActivate(now, co.Rank, co.Bank, co.Row) {
+				if next, ok := c.Ch.TryActivate(now, co.Rank, co.Bank, co.Row); ok {
 					r.openedRow = true
+					c.traceCmd('A', now, co.Rank, co.Bank, co.Row)
 					return true
+				} else {
+					c.hint(next)
 				}
 			case open != co.Row:
-				if c.Ch.TryPrecharge(now, co.Rank, co.Bank) {
+				if next, ok := c.Ch.TryPrecharge(now, co.Rank, co.Bank); ok {
+					c.traceCmd('P', now, co.Rank, co.Bank, -1)
 					return true
+				} else {
+					c.hint(next)
 				}
 			default:
 				if ds, ok := c.Ch.TryCAS(now, co.Rank, co.Bank, co.Row, r.Kind, closePage); ok {
 					c.finishIssue(r, now, ds, isWrite)
 					return true
+				} else {
+					c.hint(ds)
 				}
 			}
 		}
@@ -555,14 +809,11 @@ func (c *Controller) issueFrom(now sim.Cycle, q []*Request, isWrite bool) bool {
 	return false
 }
 
-// deprioritized reports whether request r should be skipped on this
-// priority pass (pass 0 = demand + aged prefetches, pass 1 = the rest).
-func (c *Controller) deprioritized(r *Request, pass int, now sim.Cycle) bool {
-	promoted := !r.Prefetch || now-r.Arrive >= c.Cfg.PrefetchAge
-	if pass == 0 {
-		return !promoted
+// traceCmd reports an issued command to the CmdTrace hook, if any.
+func (c *Controller) traceCmd(op byte, at sim.Cycle, rk, bk int, row int64) {
+	if c.CmdTrace != nil {
+		c.CmdTrace(op, at, rk, bk, row)
 	}
-	return promoted
 }
 
 // finishIssue records stats, removes r from its queue and schedules the
@@ -572,7 +823,8 @@ func (c *Controller) finishIssue(r *Request, now, dataStart sim.Cycle, isWrite b
 	r.DataStart = dataStart
 	r.DataEnd = dataStart + c.Ch.Cfg.Timing.Burst
 	if isWrite {
-		c.wq = remove(c.wq, r)
+		c.wrq.unlink(r, c.bankIndex(r.Coord))
+		c.traceCmd('W', now, r.Coord.Rank, r.Coord.Bank, r.Coord.Row)
 		c.Stats.WritesDone++
 		// Posted writes are dead once issued.
 		if c.Pool != nil {
@@ -580,7 +832,8 @@ func (c *Controller) finishIssue(r *Request, now, dataStart sim.Cycle, isWrite b
 		}
 		return
 	}
-	c.rq = remove(c.rq, r)
+	c.rdq.unlink(r, c.bankIndex(r.Coord))
+	c.traceCmd('R', now, r.Coord.Rank, r.Coord.Bank, r.Coord.Row)
 	if r.openedRow {
 		c.Stats.RowMisses++
 	} else {
@@ -595,16 +848,5 @@ func (c *Controller) finishIssue(r *Request, now, dataStart sim.Cycle, isWrite b
 	}
 }
 
-// remove deletes r from q preserving order.
-func remove(q []*Request, r *Request) []*Request {
-	for i, x := range q {
-		if x == r {
-			copy(q[i:], q[i+1:])
-			return q[:len(q)-1]
-		}
-	}
-	return q
-}
-
 // Pending reports the number of queued requests (reads + writes).
-func (c *Controller) Pending() int { return len(c.rq) + len(c.wq) }
+func (c *Controller) Pending() int { return c.rdq.n + c.wrq.n }

@@ -259,7 +259,10 @@ func TestIdleLPDDR2Sleeps(t *testing.T) {
 	eng, c := newCtrl(dram.LPDDR2)
 	var end1 sim.Cycle
 	c.EnqueueRead(&Request{Addr: 0, OnComplete: func(r *Request) { end1 = r.DataEnd }})
-	eng.RunUntil(200_000)
+	// Run to a cycle clear of any refresh: the maintenance pass wakes
+	// the rank exactly every tREFI, and re-entering power-down takes
+	// SleepAfter idle cycles, so assert midway between two refreshes.
+	eng.RunUntil(205_000)
 	if end1 == 0 {
 		t.Fatal("first read incomplete")
 	}

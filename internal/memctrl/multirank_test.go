@@ -160,3 +160,156 @@ func TestFCFSDisablesRowHitPriority(t *testing.T) {
 		t.Errorf("FCFS served %d second, want the older miss (%d)", got, 1<<12)
 	}
 }
+
+// TestManyBankClaiming runs a channel with more flat (rank, bank)
+// indexes than the former fixed-size claim scratch could address
+// (16 ranks x 8 banks = 128 > 64): the bank-conflict claiming pass must
+// work at every index, and FR-FCFS must still serve the older of two
+// row-conflicting requests first in every bank.
+func TestManyBankClaiming(t *testing.T) {
+	eng := &sim.Engine{}
+	ch := dram.NewChannel(dram.DDR3Config(), 16, nil)
+	ccfg := DefaultConfig(dram.DDR3)
+	ccfg.ReadQueueSize = 512
+	c := New(eng, ch, ccfg)
+	c.Pool = &Pool{}
+
+	g := ch.Cfg.Geom
+	nBanks := ch.Ranks() * g.Banks
+	if nBanks <= 64 {
+		t.Fatalf("geometry too small to regress the claim scratch: %d banks", nBanks)
+	}
+	addr := func(row, rank, bank uint64) uint64 {
+		return ((row*uint64(ch.Ranks())+rank)*uint64(g.Banks) + bank) * uint64(g.ColsPerRow)
+	}
+	// Two row-conflicting reads per bank, older rows enqueued first
+	// across all banks. No open row matches, so every issue goes
+	// through the claiming pass.
+	firstDone := make([]int64, nBanks)
+	order := 0
+	for pass := 0; pass < 2; pass++ {
+		for rk := 0; rk < ch.Ranks(); rk++ {
+			for bk := 0; bk < g.Banks; bk++ {
+				rk, bk := rk, bk
+				r := c.Pool.Get()
+				r.Addr = addr(uint64(100+pass), uint64(rk), uint64(bk))
+				row := int64(100 + pass)
+				r.OnComplete = func(req *Request) {
+					bi := rk*g.Banks + bk
+					if firstDone[bi] == 0 {
+						firstDone[bi] = row
+					}
+					order++
+				}
+				if !c.EnqueueRead(r) {
+					t.Fatalf("enqueue rejected at rank %d bank %d pass %d", rk, bk, pass)
+				}
+			}
+		}
+	}
+	eng.RunUntil(4_000_000)
+	if c.Pending() != 0 {
+		t.Fatalf("%d requests still pending", c.Pending())
+	}
+	for bi, row := range firstDone {
+		if row != 100 {
+			t.Errorf("bank %d: first completed row %d, want the older row 100", bi, row)
+		}
+	}
+}
+
+// runDeepSleepScenario drives a 4-rank LPDDR2 channel with deep sleep
+// through: initial activity on every rank, a long idle spanning several
+// tREFI (ranks enter deep power-down and must still be woken for each
+// overdue refresh), then a read per rank that pays the deep-exit
+// latency. It returns the channel and the completion cycle of the
+// post-sleep reads.
+func runDeepSleepScenario(t *testing.T, perCycle bool) (*dram.Channel, []sim.Cycle) {
+	t.Helper()
+	eng := &sim.Engine{}
+	ch := dram.NewChannel(dram.LPDDR2Config(), 4, nil)
+	ccfg := DefaultConfig(dram.LPDDR2)
+	ccfg.DeepSleep = true
+	ccfg.PerCycle = perCycle
+	c := New(eng, ch, ccfg)
+	c.Pool = &Pool{}
+
+	g := ch.Cfg.Geom
+	rankAddr := func(rk, row uint64) uint64 {
+		return (row*4 + rk) * uint64(g.Banks) * uint64(g.ColsPerRow)
+	}
+	for rk := uint64(0); rk < 4; rk++ {
+		rk := rk
+		eng.ScheduleAt(sim.Cycle(1+rk), func() {
+			r := c.Pool.Get()
+			r.Addr = rankAddr(rk, 7)
+			r.OnComplete = func(*Request) {}
+			if !c.EnqueueRead(r) {
+				t.Error("initial enqueue rejected")
+			}
+		})
+	}
+
+	tm := ch.Cfg.Timing
+	idleEnd := tm.TREFI*3 + tm.TREFI/2 // midway between the 3rd and 4th refresh
+	eng.RunUntil(idleEnd)
+	for rk := 0; rk < 4; rk++ {
+		if st := ch.PowerState(rk); st != dram.PSDeepPowerDown {
+			t.Errorf("perCycle=%v: rank %d at cycle %d: state %v, want deep-powerdown",
+				perCycle, rk, idleEnd, st)
+		}
+	}
+	// Every rank must have been woken for each of its 3 elapsed
+	// refresh deadlines despite deep sleep.
+	if ch.Stat.Refreshes < 12 {
+		t.Errorf("perCycle=%v: %d refreshes over 3.5 tREFI x 4 ranks, want >= 12",
+			perCycle, ch.Stat.Refreshes)
+	}
+	if ch.Stat.WakeUps < 12 {
+		t.Errorf("perCycle=%v: %d wake-ups, want >= 12", perCycle, ch.Stat.WakeUps)
+	}
+
+	done := make([]sim.Cycle, 4)
+	eng.Schedule(0, func() {
+		for rk := uint64(0); rk < 4; rk++ {
+			rk := rk
+			r := c.Pool.Get()
+			r.Addr = rankAddr(rk, 9)
+			r.OnComplete = func(req *Request) { done[rk] = req.DataEnd }
+			if !c.EnqueueRead(r) {
+				t.Error("post-sleep enqueue rejected")
+			}
+		}
+	})
+	eng.RunUntil(idleEnd + 200_000)
+	minLatency := tm.TXP*4 + tm.TRCD + tm.TRL
+	for rk := 0; rk < 4; rk++ {
+		if done[rk] == 0 {
+			t.Fatalf("perCycle=%v: rank %d post-sleep read never completed", perCycle, rk)
+		}
+		if done[rk]-idleEnd < minLatency {
+			t.Errorf("perCycle=%v: rank %d woke too fast: latency %d < deep-exit floor %d",
+				perCycle, rk, done[rk]-idleEnd, minLatency)
+		}
+	}
+	return ch, done
+}
+
+// TestDeepSleepOverdueRefresh checks multi-rank refresh and deep
+// power-down under skip ticking: a parked controller must still wake
+// every sleeping rank for each refresh deadline, return it to deep
+// sleep, and serve post-idle reads with the full exit latency — all at
+// exactly the cycles the per-cycle reference produces.
+func TestDeepSleepOverdueRefresh(t *testing.T) {
+	refCh, refDone := runDeepSleepScenario(t, true)
+	gotCh, gotDone := runDeepSleepScenario(t, false)
+	for rk := range refDone {
+		if refDone[rk] != gotDone[rk] {
+			t.Errorf("rank %d completion diverged: per-cycle %d, skip %d",
+				rk, refDone[rk], gotDone[rk])
+		}
+	}
+	if refCh.Stat != gotCh.Stat {
+		t.Errorf("channel stats diverged:\nper-cycle %+v\nskip      %+v", refCh.Stat, gotCh.Stat)
+	}
+}

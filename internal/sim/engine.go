@@ -39,6 +39,15 @@ type EventHandler interface {
 	OnEvent(arg any)
 }
 
+// PhasedHandler receives events scheduled through SchedulePhasedAt. The
+// phase value the event was scheduled with is passed back so the handler
+// can recognize events that belong to a superseded scheduling epoch
+// (e.g. a controller tick armed by a session that has since parked).
+type PhasedHandler interface {
+	EventHandler
+	OnPhasedEvent(arg any, phase uint64)
+}
+
 // funcEvent adapts the legacy func() scheduling form onto the handler
 // dispatch path. A func value is pointer-shaped, so carrying it in arg
 // does not box.
@@ -50,16 +59,22 @@ var funcRunner funcEvent
 
 // event is a scheduled callback, stored by value in the heap.
 type event struct {
-	when Cycle
-	seq  uint64 // FIFO tie-break for events at the same cycle
-	h    EventHandler
-	arg  any
+	when  Cycle
+	seq   uint64 // FIFO tie-break for events at the same cycle
+	phase uint64 // 0 = normal; nonzero = late phase, ordered after all normal events
+	h     EventHandler
+	arg   any
 }
 
-// before reports heap ordering: time first, then insertion order.
+// before reports heap ordering: time first, then phase (normal events
+// precede all phased events at the same cycle, and phased events run in
+// ascending phase order), then insertion order.
 func (e *event) before(o *event) bool {
 	if e.when != o.when {
 		return e.when < o.when
+	}
+	if e.phase != o.phase {
+		return e.phase < o.phase
 	}
 	return e.seq < o.seq
 }
@@ -68,10 +83,12 @@ func (e *event) before(o *event) bool {
 // to use. Engine is not safe for concurrent use: the whole simulator is
 // single-threaded by design so that runs are bit-for-bit reproducible.
 type Engine struct {
-	now   Cycle
-	seq   uint64
-	pq    []event // 4-ary min-heap ordered by (when, seq)
-	fired uint64
+	now        Cycle
+	seq        uint64
+	pq         []event // 4-ary min-heap ordered by (when, phase, seq)
+	fired      uint64
+	lastPhase  uint64
+	dispatches int // >0 while inside an event handler
 }
 
 // Now reports the current simulated time.
@@ -171,6 +188,42 @@ func (e *Engine) ScheduleEventAt(when Cycle, h EventHandler, arg any) {
 	e.push(event{when: when, seq: e.seq, h: h, arg: arg})
 }
 
+// NewPhase allocates a fresh nonzero phase value, strictly greater than
+// every phase allocated before it. Phases order SchedulePhasedAt events
+// that land on the same cycle: an entity that acquires its phase when it
+// starts a scheduling session keeps its same-cycle ordering against
+// other sessions stable no matter when the individual events were
+// pushed — the property per-cycle self-rescheduling used to provide
+// implicitly through (when, seq) FIFO order.
+func (e *Engine) NewPhase() uint64 {
+	e.lastPhase++
+	return e.lastPhase
+}
+
+// SchedulePhasedAt schedules h.OnPhasedEvent(arg, phase) at absolute
+// cycle when. Phased events run after every normal event of that cycle,
+// ordered among themselves by phase (then push order). phase must come
+// from NewPhase (nonzero); when must not precede Now.
+func (e *Engine) SchedulePhasedAt(when Cycle, phase uint64, h PhasedHandler, arg any) {
+	if when < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	if phase == 0 {
+		panic("sim: phased event needs a nonzero phase (use NewPhase)")
+	}
+	e.seq++
+	e.push(event{when: when, seq: e.seq, phase: phase, h: h, arg: arg})
+}
+
+// InDispatch reports whether the caller is executing inside an event
+// handler (as opposed to code interleaved between RunUntil calls, such
+// as the cycle-stepped CPU cores). Entities whose same-cycle visibility
+// rules differ between the two contexts — a request enqueued from an
+// event is visible to a scheduling pass later in the same cycle, one
+// enqueued from core-step context only from the next cycle on — branch
+// on this instead of threading context flags through every caller.
+func (e *Engine) InDispatch() bool { return e.dispatches > 0 }
+
 // Pending reports whether any events remain.
 func (e *Engine) Pending() bool { return len(e.pq) > 0 }
 
@@ -205,7 +258,7 @@ func (e *Engine) RunUntil(end Cycle) uint64 {
 			e.now = ev.when
 			burst = 0
 		}
-		ev.h.OnEvent(ev.arg)
+		e.dispatch(&ev)
 		n++
 		e.fired++
 		if burst++; burst > sameCycleEventLimit {
@@ -230,10 +283,22 @@ func (e *Engine) Step() bool {
 	for len(e.pq) > 0 && e.pq[0].when == t {
 		ev := e.pop()
 		e.now = t
-		ev.h.OnEvent(ev.arg)
+		e.dispatch(&ev)
 		e.fired++
 	}
 	return true
+}
+
+// dispatch invokes one popped event's handler with the in-dispatch flag
+// held, routing phased events to their extended interface.
+func (e *Engine) dispatch(ev *event) {
+	e.dispatches++
+	if ev.phase != 0 {
+		ev.h.(PhasedHandler).OnPhasedEvent(ev.arg, ev.phase)
+	} else {
+		ev.h.OnEvent(ev.arg)
+	}
+	e.dispatches--
 }
 
 // AdvanceTo moves the clock forward to when without running events beyond

@@ -294,3 +294,102 @@ func TestNegativeDelayPanics(t *testing.T) {
 	}()
 	e.Schedule(-1, func() {})
 }
+
+// phasedRecorder implements PhasedHandler, appending labels to a log.
+type phasedRecorder struct {
+	log   *[]string
+	label string
+}
+
+func (p phasedRecorder) OnEvent(arg any) {}
+
+func (p phasedRecorder) OnPhasedEvent(arg any, phase uint64) {
+	*p.log = append(*p.log, p.label)
+}
+
+func TestPhasedEventsRunAfterNormal(t *testing.T) {
+	var eng Engine
+	var log []string
+	pa, pb := eng.NewPhase(), eng.NewPhase()
+	if pa == 0 || pb <= pa {
+		t.Fatalf("NewPhase not increasing: %d, %d", pa, pb)
+	}
+	// Schedule in an order adversarial to the desired firing order:
+	// higher phase first, then lower, then normal events last.
+	eng.SchedulePhasedAt(10, pb, phasedRecorder{&log, "phaseB"}, nil)
+	eng.SchedulePhasedAt(10, pa, phasedRecorder{&log, "phaseA2"}, nil)
+	eng.SchedulePhasedAt(10, pa, phasedRecorder{&log, "phaseA1"}, nil)
+	eng.Schedule(10, func() { log = append(log, "normal1") })
+	eng.Schedule(10, func() {
+		log = append(log, "normal2")
+		// A normal event scheduled from inside dispatch at the same
+		// cycle still precedes every phased event.
+		eng.Schedule(0, func() { log = append(log, "normal3") })
+	})
+	// A later cycle's normal event must not interleave.
+	eng.Schedule(11, func() { log = append(log, "next-cycle") })
+	eng.RunUntil(20)
+	want := []string{"normal1", "normal2", "normal3", "phaseA2", "phaseA1", "phaseB", "next-cycle"}
+	if len(log) != len(want) {
+		t.Fatalf("fired %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("fired %v, want %v", log, want)
+		}
+	}
+}
+
+func TestPhasedOrderAcrossPushOrder(t *testing.T) {
+	// Phase order must dominate push order at a shared cycle: a session
+	// that armed its tick long ago and one that armed it just now still
+	// fire in phase order.
+	var eng Engine
+	var log []string
+	p1, p2 := eng.NewPhase(), eng.NewPhase()
+	eng.SchedulePhasedAt(100, p2, phasedRecorder{&log, "late-session"}, nil)
+	eng.Schedule(50, func() {
+		eng.SchedulePhasedAt(100, p1, phasedRecorder{&log, "early-session"}, nil)
+	})
+	eng.RunUntil(200)
+	if len(log) != 2 || log[0] != "early-session" || log[1] != "late-session" {
+		t.Fatalf("fired %v, want early-session before late-session", log)
+	}
+}
+
+func TestSchedulePhasedPanics(t *testing.T) {
+	var eng Engine
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero phase", func() {
+		eng.SchedulePhasedAt(5, 0, phasedRecorder{}, nil)
+	})
+	eng.RunUntil(10)
+	mustPanic("past cycle", func() {
+		eng.SchedulePhasedAt(5, eng.NewPhase(), phasedRecorder{}, nil)
+	})
+}
+
+func TestInDispatch(t *testing.T) {
+	var eng Engine
+	if eng.InDispatch() {
+		t.Fatal("InDispatch true outside dispatch")
+	}
+	saw := false
+	eng.Schedule(1, func() {
+		saw = eng.InDispatch()
+	})
+	eng.RunUntil(5)
+	if !saw {
+		t.Fatal("InDispatch false inside a handler")
+	}
+	if eng.InDispatch() {
+		t.Fatal("InDispatch stuck true after dispatch")
+	}
+}

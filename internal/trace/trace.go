@@ -27,8 +27,12 @@ type Record struct {
 }
 
 // ServedFast reports whether the requested word came from the fast path.
+// The fast path must genuinely lead the line: when a refresh or other
+// stall delays the critical channel until the cycle the full line lands,
+// the word was already deliverable from the line and the fill gained
+// nothing.
 func (r Record) ServedFast() bool {
-	return !r.Parity && r.MissWord == r.CritWord && r.CritAt > 0
+	return !r.Parity && r.MissWord == r.CritWord && r.CritAt > 0 && r.CritAt < r.Done
 }
 
 // FillLatency is the end-to-end fill time.
