@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz faults bench bench-json bench-controller bench-telemetry profile verify
+.PHONY: build vet test race fuzz faults bench bench-json bench-controller bench-telemetry bench-store sweepd profile verify
 
 build:
 	$(GO) build ./...
@@ -23,11 +23,13 @@ test: build
 race:
 	$(GO) test -race ./...
 
-# Short fuzz passes over the text parsers (seed corpora always run as
-# part of plain `make test`).
+# Short fuzz passes over the text parsers and the durable-store key /
+# entry codecs (seed corpora always run as part of plain `make test`).
 fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/faults/ -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/store/ -fuzz FuzzStoreKey -fuzztime 30s
+	$(GO) test ./internal/store/ -fuzz FuzzEntryCodec -fuzztime 30s
 
 # Fault-sensitivity table: the RL system under escalating bit-fault
 # rates, a scripted line chip-kill, and a dead critical-word DIMM.
@@ -62,6 +64,19 @@ bench-controller:
 bench-telemetry:
 	$(GO) test -bench 'BenchmarkTelemetry' -benchmem -benchtime 20x -run '^$$' . \
 		| $(GO) run ./cmd/benchjson > BENCH_telemetry.json
+
+# Durable run-cache baseline as committed JSON (see DESIGN.md "Durable
+# run cache"): key hashing, entry encode/write, and verified-hit read.
+# Regenerate after store or codec changes and commit the diff.
+bench-store:
+	$(GO) test -bench 'BenchmarkStore' -benchmem -run '^$$' ./internal/store/ \
+		| $(GO) run ./cmd/benchjson > BENCH_store.json
+
+# Run the sweep job server on the default local address with a durable
+# cache + state directory in the working tree.
+sweepd:
+	$(GO) run ./cmd/sweepd -addr 127.0.0.1:8321 \
+		-cache-dir .hetsim-cache -state-dir .hetsim-sweepd
 
 # CPU + allocation profiles of a representative experiment run.
 # Inspect with: go tool pprof cpu.pprof / go tool pprof mem.pprof

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"hetsim"
+	"hetsim/internal/store"
 )
 
 func main() {
@@ -20,6 +21,7 @@ func main() {
 	scaleName := flag.String("scale", "test", "test|bench|paper")
 	cores := flag.Int("cores", 8, "core count")
 	workers := flag.Int("j", 0, "parallel runs (0 = GOMAXPROCS, 1 = serial; output is identical)")
+	cacheDir := flag.String("cache-dir", "", "durable run cache directory: hit entries replace simulations, output stays byte-identical")
 	flag.Parse()
 
 	var scale hetsim.Scale
@@ -48,8 +50,17 @@ func main() {
 	// All (config, benchmark) pairs go onto the shared experiment
 	// runner up front; the collection loops below read memoized
 	// results in deterministic order.
-	runner := hetsim.NewExperiments(hetsim.ExperimentOptions{
-		Scale: scale, Benchmarks: list, NCores: *cores, Workers: *workers})
+	opts := hetsim.ExperimentOptions{
+		Scale: scale, Benchmarks: list, NCores: *cores, Workers: *workers}
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Store = st
+	}
+	runner := hetsim.NewExperiments(opts)
 	runner.Submit(configs...)
 
 	type row struct{ vsBase, vsSelf float64 }

@@ -24,6 +24,7 @@ import (
 	"hetsim/internal/exp"
 	"hetsim/internal/profiling"
 	"hetsim/internal/sim"
+	"hetsim/internal/store"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	measure := flag.Uint64("measure", 0, "override measured DRAM reads per run (0 = scale default)")
 	workers := flag.Int("j", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial; results are identical)")
+	cacheDir := flag.String("cache-dir", "", "durable run cache directory: hit entries replace simulations, output stays byte-identical")
 	faultSpec := flag.String("faults", "", `fault environment applied to every run, e.g. "crit.bit=1e-4; line.bit=1e-4; @1000 chipkill line 0 3"`)
 	faultSeed := flag.Uint64("fault-seed", 0, "override the fault-injection RNG seed (with -faults)")
 	verbose := flag.Bool("v", false, "log each run")
@@ -76,6 +78,14 @@ func main() {
 	}
 	scale.EpochInterval = sim.Cycle(*epochInterval)
 	opts := exp.Options{Scale: scale, NCores: *cores, Seed: *seed, Workers: *workers}
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		opts.Store = st
+	}
 	if *faultSpec != "" {
 		fc, err := hetsim.ParseFaults(*faultSpec)
 		if err != nil {
@@ -344,6 +354,11 @@ func main() {
 		}
 	}
 
+	if opts.Store != nil {
+		cs := opts.Store.Stats()
+		fmt.Fprintf(os.Stderr, "experiments: cache %s: %d hits, %d misses, %d writes, %d corrupt\n",
+			*cacheDir, cs.Hits, cs.Misses, cs.Writes, cs.Corrupt)
+	}
 	st := r.Stats()
 	fmt.Fprintf(os.Stderr, "experiments: %d runs (%d deduped) on %d workers in %.1fs\n",
 		st.Executed, st.Deduped, r.Workers(), time.Since(start).Seconds())

@@ -18,57 +18,20 @@ import (
 	"strings"
 
 	"hetsim"
+	"hetsim/internal/grid"
 	"hetsim/internal/sim"
 	"hetsim/internal/trace"
 )
 
+// configByName and scaleByName delegate to the shared grid tables so
+// every CLI (and the sweepd job server) resolves the same names to the
+// same configurations.
 func configByName(name string, cores int) (hetsim.Config, error) {
-	switch strings.ToLower(name) {
-	case "baseline", "ddr3":
-		return hetsim.Baseline(cores), nil
-	case "lpddr2":
-		return hetsim.HomogeneousLPDDR2(cores), nil
-	case "rldram3":
-		return hetsim.HomogeneousRLDRAM3(cores), nil
-	case "rd":
-		return hetsim.RD(cores), nil
-	case "rl":
-		return hetsim.RL(cores), nil
-	case "dl":
-		return hetsim.DL(cores), nil
-	case "rl-ad":
-		cfg := hetsim.RL(cores)
-		cfg.Placement = hetsim.PlaceAdaptive
-		cfg.Name = "RL-AD"
-		return cfg, nil
-	case "rl-or":
-		cfg := hetsim.RL(cores)
-		cfg.Placement = hetsim.PlaceOracle
-		cfg.Name = "RL-OR"
-		return cfg, nil
-	case "hmc":
-		return hetsim.HMCHetero(cores), nil
-	case "rl-random":
-		cfg := hetsim.RL(cores)
-		cfg.Placement = hetsim.PlaceRandom
-		cfg.Name = "RL-random"
-		return cfg, nil
-	default:
-		return hetsim.Config{}, fmt.Errorf("unknown config %q", name)
-	}
+	return grid.Config(name, cores)
 }
 
 func scaleByName(name string) (hetsim.Scale, error) {
-	switch strings.ToLower(name) {
-	case "test":
-		return hetsim.TestScale(), nil
-	case "bench":
-		return hetsim.BenchScale(), nil
-	case "paper":
-		return hetsim.PaperScale(), nil
-	default:
-		return hetsim.Scale{}, fmt.Errorf("unknown scale %q (test|bench|paper)", name)
-	}
+	return grid.Scale(name)
 }
 
 func main() {

@@ -11,67 +11,88 @@
 //	sweep -bench mcf -config rl -param faultrate -values 0,1e-4,1e-3,1e-2
 //	sweep ... -faults "@1000 dead crit" -fault-seed 7
 //	sweep ... -j 4                 # run grid points in parallel
+//	sweep ... -cache-dir .hetsim-cache   # durable run cache: a repeat
+//	                               # invocation re-runs nothing and is
+//	                               # byte-identical
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"hetsim"
+	"hetsim/internal/grid"
 	"hetsim/internal/profiling"
 	"hetsim/internal/runpool"
 	"hetsim/internal/sim"
+	"hetsim/internal/store"
 )
 
 func main() {
-	bench := flag.String("bench", "libquantum", "benchmark name")
-	config := flag.String("config", "rl", "configuration (see cmd/hetsim)")
-	param := flag.String("param", "robsize", "swept parameter: robsize|cores|parityrate|faultrate|reads")
-	values := flag.String("values", "32,64,128", "comma-separated values")
-	scaleName := flag.String("scale", "test", "base run scale: test|bench|paper")
-	out := flag.String("o", "", "output CSV path (default stdout)")
-	pair := flag.Bool("pair", false, "run the stand-alone reference too (fills throughput columns)")
-	faultSpec := flag.String("faults", "", `fault environment applied to every grid point, e.g. "line.bit=1e-4; @1000 chipkill line 0 3"`)
-	faultSeed := flag.Uint64("fault-seed", 0, "override the fault-injection RNG seed")
-	workers := flag.Int("j", 0, "parallel grid points (0 = GOMAXPROCS, 1 = serial; output is identical)")
-	epochInterval := flag.Int64("epoch-interval", 0, "sample telemetry every N cycles of each measured window (0 = off)")
-	epochCSV := flag.String("epoch-csv", "", "write the per-epoch time-series as CSV to this file (needs -epoch-interval)")
-	epochJSONL := flag.String("epoch-jsonl", "", "write the per-epoch time-series as JSON lines to this file (needs -epoch-interval)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command, factored over explicit streams so tests
+// can execute complete invocations in-process and compare output
+// bytes across cold and warm cache passes.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", "libquantum", "benchmark name")
+	config := fs.String("config", "rl", "configuration (see cmd/hetsim)")
+	param := fs.String("param", "robsize", "swept parameter: "+strings.Join(grid.Params(), "|"))
+	values := fs.String("values", "32,64,128", "comma-separated values")
+	scaleName := fs.String("scale", "test", "base run scale: test|bench|paper")
+	out := fs.String("o", "", "output CSV path (default stdout)")
+	pair := fs.Bool("pair", false, "run the stand-alone reference too (fills throughput columns)")
+	faultSpec := fs.String("faults", "", `fault environment applied to every grid point, e.g. "line.bit=1e-4; @1000 chipkill line 0 3"`)
+	faultSeed := fs.Uint64("fault-seed", 0, "override the fault-injection RNG seed")
+	workers := fs.Int("j", 0, "parallel grid points (0 = GOMAXPROCS, 1 = serial; output is identical)")
+	cacheDir := fs.String("cache-dir", "", "durable run cache directory: hit entries replace simulations, output stays byte-identical")
+	epochInterval := fs.Int64("epoch-interval", 0, "sample telemetry every N cycles of each measured window (0 = off)")
+	epochCSV := fs.String("epoch-csv", "", "write the per-epoch time-series as CSV to this file (needs -epoch-interval)")
+	epochJSONL := fs.String("epoch-jsonl", "", "write the per-epoch time-series as JSON lines to this file (needs -epoch-interval)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer stopProf()
 
-	var scale hetsim.Scale
-	switch *scaleName {
-	case "test":
-		scale = hetsim.TestScale()
-	case "bench":
-		scale = hetsim.BenchScale()
-	case "paper":
-		scale = hetsim.PaperScale()
-	default:
-		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	scale, err := grid.Scale(*scaleName)
+	if err != nil {
+		return err
 	}
 	if (*epochCSV != "" || *epochJSONL != "") && *epochInterval <= 0 {
-		fatal(fmt.Errorf("-epoch-csv/-epoch-jsonl need -epoch-interval > 0"))
+		return fmt.Errorf("-epoch-csv/-epoch-jsonl need -epoch-interval > 0")
 	}
 	scale.EpochInterval = sim.Cycle(*epochInterval)
 
-	w := os.Stdout
+	var cache *store.Store
+	if *cacheDir != "" {
+		cache, err = store.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+	}
+
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		w = f
@@ -90,7 +111,7 @@ func main() {
 	if *faultSpec != "" {
 		fc, err := hetsim.ParseFaults(*faultSpec)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		baseFaults = fc
 	}
@@ -101,61 +122,45 @@ func main() {
 	pool := runpool.New[int, hetsim.Results](*workers)
 	tasks := make([]*runpool.Task[hetsim.Results], len(vals))
 	for i, vs := range vals {
-		cfg, err := baseConfig(*config, 8)
+		cfg, err := grid.Config(*config, 8)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		cfg.Faults = baseFaults
 		runScale := scale
-		switch strings.ToLower(*param) {
-		case "robsize":
-			n, err := strconv.Atoi(vs)
-			if err != nil {
-				fatal(err)
-			}
-			cfg.ROBSize = n
-		case "cores":
-			n, err := strconv.Atoi(vs)
-			if err != nil {
-				fatal(err)
-			}
-			cfg.NCores = n
-		case "parityrate":
-			p, err := strconv.ParseFloat(vs, 64)
-			if err != nil {
-				fatal(err)
-			}
-			cfg.CritParityErrorRate = p
-		case "faultrate":
-			p, err := strconv.ParseFloat(vs, 64)
-			if err != nil {
-				fatal(err)
-			}
-			// A uniform transient-bit rate on both DIMM classes: the
-			// headline fault-sensitivity axis.
-			cfg.Faults.Crit.TransientBit = p
-			cfg.Faults.Line.TransientBit = p
-		case "reads":
-			n, err := strconv.ParseUint(vs, 10, 64)
-			if err != nil {
-				fatal(err)
-			}
-			runScale.MeasureReads = n
-			runScale.WarmupReads = n / 10
-		default:
-			fatal(fmt.Errorf("unknown parameter %q", *param))
+		if err := grid.Apply(&cfg, &runScale, *param, vs); err != nil {
+			return err
 		}
-		cfg.Name = fmt.Sprintf("%s[%s=%s]", cfg.Name, *param, vs)
 
 		tasks[i] = pool.Submit(i, func() (hetsim.Results, error) {
+			// Disk tier: a verified cache entry replaces the run.
+			var sk store.RunKey
+			if cache != nil {
+				sk = store.RunKey{Cfg: cfg.Key(), Bench: *bench, Scale: runScale, Pair: *pair}
+				if res, ok := cache.Get(sk); ok {
+					return res, nil
+				}
+			}
+			var res hetsim.Results
 			if *pair {
-				return hetsim.RunPair(cfg, *bench, runScale)
+				r, err := hetsim.RunPair(cfg, *bench, runScale)
+				if err != nil {
+					return hetsim.Results{}, err
+				}
+				res = r
+			} else {
+				sys, err := hetsim.NewSystem(cfg, *bench)
+				if err != nil {
+					return hetsim.Results{}, err
+				}
+				res = sys.Run(runScale)
 			}
-			sys, err := hetsim.NewSystem(cfg, *bench)
-			if err != nil {
-				return hetsim.Results{}, err
+			if cache != nil {
+				if err := cache.Put(sk, res); err != nil {
+					fmt.Fprintln(stderr, "sweep: cache write failed:", err)
+				}
 			}
-			return sys.Run(runScale), nil
+			return res, nil
 		})
 	}
 
@@ -171,16 +176,16 @@ func main() {
 	for i, vs := range vals {
 		res, err := tasks[i].Wait()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if !wroteHeader {
 			if err := cw.Write(append([]string{"param", "value"}, res.CSVHeader()...)); err != nil {
-				fatal(err)
+				return err
 			}
 			wroteHeader = true
 		}
 		if err := cw.Write(append([]string{*param, vs}, res.CSVRow()...)); err != nil {
-			fatal(err)
+			return err
 		}
 		if res.Epochs != nil {
 			epochs = append(epochs, epochPoint{value: vs, series: res.Epochs})
@@ -190,7 +195,7 @@ func main() {
 	if *epochCSV != "" {
 		f, err := os.Create(*epochCSV)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		ecw := csv.NewWriter(f)
 		var prev *hetsim.EpochSeries
@@ -200,58 +205,40 @@ func main() {
 			header := prev == nil || !prev.SameCols(p.series)
 			if err := p.series.WriteCSV(ecw, header, []string{"param", "value"},
 				[]string{*param, p.value}); err != nil {
-				fatal(err)
+				return err
 			}
 			prev = p.series
 		}
 		ecw.Flush()
 		if err := ecw.Error(); err != nil {
-			fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 	if *epochJSONL != "" {
 		f, err := os.Create(*epochJSONL)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for _, p := range epochs {
 			if err := p.series.WriteJSONL(f, []string{"param", "value"},
 				[]string{*param, p.value}); err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return err
 		}
 	}
-}
 
-// baseConfig mirrors cmd/hetsim's configuration names.
-func baseConfig(name string, cores int) (hetsim.Config, error) {
-	switch strings.ToLower(name) {
-	case "baseline", "ddr3":
-		return hetsim.Baseline(cores), nil
-	case "lpddr2":
-		return hetsim.HomogeneousLPDDR2(cores), nil
-	case "rldram3":
-		return hetsim.HomogeneousRLDRAM3(cores), nil
-	case "rd":
-		return hetsim.RD(cores), nil
-	case "rl":
-		return hetsim.RL(cores), nil
-	case "dl":
-		return hetsim.DL(cores), nil
-	case "hmc":
-		return hetsim.HMCHetero(cores), nil
-	default:
-		return hetsim.Config{}, fmt.Errorf("unknown config %q", name)
+	// The cache summary goes to stderr — and only with -cache-dir — so
+	// default stdout stays byte-identical to the pre-cache tool.
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Fprintf(stderr, "sweep: cache %s: %d hits, %d misses, %d writes, %d corrupt\n",
+			*cacheDir, st.Hits, st.Misses, st.Writes, st.Corrupt)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,51 @@
+// Command sweepd is a long-running sweep job server. Clients POST
+// sweep specifications; the server shards their (config, benchmark)
+// grid cells across a bounded worker pool, caches every finished cell
+// in the durable content-addressed store, and streams per-epoch
+// telemetry live as JSON lines. Because the store is the checkpoint,
+// a killed server resumes a half-finished sweep on restart re-running
+// only the cells that never completed.
+//
+// Usage:
+//
+//	sweepd -addr 127.0.0.1:8321 -cache-dir .hetsim-cache -state-dir .hetsim-sweepd
+//
+//	curl -X POST localhost:8321/api/v1/sweeps -d '{
+//	  "config": "rl", "benchmarks": ["libquantum", "mcf"],
+//	  "param": "robsize", "values": ["32", "64", "128"]}'
+//	curl localhost:8321/api/v1/sweeps/<id>
+//	curl localhost:8321/api/v1/sweeps/<id>/results.csv?wait=1
+//	curl -N localhost:8321/api/v1/sweeps/<id>/epochs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8321", "listen address")
+	cacheDir := flag.String("cache-dir", ".hetsim-cache", "durable run cache directory (doubles as the completed-cell checkpoint)")
+	stateDir := flag.String("state-dir", ".hetsim-sweepd", "job spec directory; accepted sweeps survive restarts")
+	workers := flag.Int("j", 0, "parallel simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	srv, err := NewServer(Options{
+		CacheDir: *cacheDir,
+		StateDir: *stateDir,
+		Workers:  *workers,
+		Log:      os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "sweepd: listening on %s (cache %s, state %s)\n",
+		*addr, *cacheDir, *stateDir)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,591 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/csv"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hetsim"
+	"hetsim/internal/grid"
+	"hetsim/internal/runpool"
+	"hetsim/internal/sim"
+	"hetsim/internal/store"
+)
+
+// JobSpec is a sweep submission: one configuration × a benchmark list
+// × an optional parameter axis. It is the HTTP request body and the
+// durable checkpoint record — a job's identity is the hash of its
+// normalized spec, so resubmitting the same sweep is idempotent.
+type JobSpec struct {
+	Config        string   `json:"config"`
+	Benchmarks    []string `json:"benchmarks"`
+	Param         string   `json:"param,omitempty"`
+	Values        []string `json:"values,omitempty"`
+	Scale         string   `json:"scale,omitempty"`
+	Cores         int      `json:"cores,omitempty"`
+	Pair          bool     `json:"pair,omitempty"`
+	EpochInterval int64    `json:"epoch_interval,omitempty"`
+}
+
+// normalize fills defaults and canonicalizes free-form fields so that
+// equivalent submissions hash to the same job ID.
+func (s JobSpec) normalize() JobSpec {
+	s.Config = strings.ToLower(strings.TrimSpace(s.Config))
+	s.Param = strings.ToLower(strings.TrimSpace(s.Param))
+	s.Scale = strings.ToLower(strings.TrimSpace(s.Scale))
+	if s.Scale == "" {
+		s.Scale = "test"
+	}
+	if s.Cores == 0 {
+		s.Cores = 8
+	}
+	for i, b := range s.Benchmarks {
+		s.Benchmarks[i] = strings.TrimSpace(b)
+	}
+	for i, v := range s.Values {
+		s.Values[i] = strings.TrimSpace(v)
+	}
+	return s
+}
+
+// id is the content address of the normalized spec. JSON field order
+// is fixed by the struct, so the encoding is deterministic.
+func (s JobSpec) id() string {
+	b, _ := json.Marshal(s)
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])[:12]
+}
+
+// cell is one grid point: (value, benchmark) under the job's config.
+type cell struct {
+	Bench string
+	Value string
+	cfg   hetsim.Config
+	scale hetsim.Scale
+	key   store.RunKey
+
+	mu     sync.Mutex
+	state  string // "pending" | "done" | "failed"
+	errMsg string
+	header []string
+	row    []string
+}
+
+// job is one accepted sweep and its live progress.
+type job struct {
+	ID    string
+	Spec  JobSpec
+	Cells []*cell
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	done     int
+	failed   int
+	epochLog []byte // accumulated per-epoch JSONL, appended per finished cell
+}
+
+func (j *job) finished() bool { return j.done+j.failed == len(j.Cells) }
+
+// Options configures a Server.
+type Options struct {
+	// CacheDir roots the durable result store. Required: the store is
+	// both the run cache and the server's completed-cell checkpoint.
+	CacheDir string
+	// StateDir holds one spec file per accepted job; NewServer re-reads
+	// it so a restarted server resumes every known sweep.
+	StateDir string
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// Log receives operational messages (nil = discard).
+	Log io.Writer
+}
+
+// Server shards sweep cells across a runpool, with the durable store
+// as a second memo tier. Identical cells — within one job or across
+// jobs — are simulated at most once per server lifetime, and at most
+// once ever while the store directory survives.
+type Server struct {
+	opts  Options
+	cache *store.Store
+	pool  *runpool.Pool[string, hetsim.Results]
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	// executed counts cells that actually ran the simulator; restored
+	// counts cells served from the durable store. After a kill/restart
+	// these two split the grid exactly: restored = cells the dead
+	// server finished, executed = the rest.
+	executed atomic.Uint64
+	restored atomic.Uint64
+
+	mu   sync.Mutex
+	jobs map[string]*job
+}
+
+var errClosed = errors.New("sweepd: server is shutting down")
+
+// NewServer opens the store, loads every checkpointed job from the
+// state directory, and re-enqueues their cells. Cells whose results
+// already sit in the store complete without running the simulator.
+func NewServer(opts Options) (*Server, error) {
+	cache, err := store.Open(opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	if opts.StateDir == "" {
+		return nil, fmt.Errorf("sweepd: empty state directory")
+	}
+	if err := os.MkdirAll(filepath.Join(opts.StateDir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("sweepd: %w", err)
+	}
+	if opts.Log == nil {
+		opts.Log = io.Discard
+	}
+	s := &Server{
+		opts:  opts,
+		cache: cache,
+		pool:  runpool.New[string, hetsim.Results](opts.Workers),
+		jobs:  map[string]*job{},
+	}
+	if err := s.resume(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// resume re-enqueues every job whose spec file survived a previous
+// process. The store decides which cells still need simulating.
+func (s *Server) resume() error {
+	dir := filepath.Join(s.opts.StateDir, "jobs")
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("sweepd: %w", err)
+	}
+	// Deterministic resume order (ReadDir sorts, but be explicit).
+	sort.Slice(names, func(i, k int) bool { return names[i].Name() < names[k].Name() })
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		if err != nil {
+			fmt.Fprintf(s.opts.Log, "sweepd: skipping %s: %v\n", de.Name(), err)
+			continue
+		}
+		var spec JobSpec
+		if err := json.Unmarshal(b, &spec); err != nil {
+			fmt.Fprintf(s.opts.Log, "sweepd: skipping %s: %v\n", de.Name(), err)
+			continue
+		}
+		if _, err := s.submit(spec); err != nil {
+			fmt.Fprintf(s.opts.Log, "sweepd: resume %s: %v\n", de.Name(), err)
+			continue
+		}
+		fmt.Fprintf(s.opts.Log, "sweepd: resumed job %s\n", spec.id())
+	}
+	return nil
+}
+
+// Close stops accepting work: queued cells fail fast, in-flight cells
+// run to completion (their results are checkpointed in the store), and
+// Close returns once every cell goroutine has drained.
+func (s *Server) Close() {
+	s.closed.Store(true)
+	s.wg.Wait()
+}
+
+// buildCells validates the spec and expands its grid. Pure function of
+// the spec, so a resumed server reconstructs the identical grid — and
+// the identical store keys — the dead server was working through.
+func buildCells(spec JobSpec) ([]*cell, error) {
+	if len(spec.Benchmarks) == 0 {
+		return nil, fmt.Errorf("sweepd: no benchmarks")
+	}
+	known := map[string]bool{}
+	for _, b := range hetsim.Benchmarks() {
+		known[b] = true
+	}
+	for _, b := range spec.Benchmarks {
+		if !known[b] {
+			return nil, fmt.Errorf("sweepd: unknown benchmark %q", b)
+		}
+	}
+	if (spec.Param == "") != (len(spec.Values) == 0) {
+		return nil, fmt.Errorf("sweepd: param and values must be given together")
+	}
+	scale, err := grid.Scale(spec.Scale)
+	if err != nil {
+		return nil, err
+	}
+	scale.EpochInterval = sim.Cycle(spec.EpochInterval)
+	values := spec.Values
+	if spec.Param == "" {
+		values = []string{""} // single column: the unmodified config
+	}
+	var cells []*cell
+	for _, v := range values {
+		cfg, err := grid.Config(spec.Config, spec.Cores)
+		if err != nil {
+			return nil, err
+		}
+		runScale := scale
+		if spec.Param != "" {
+			if err := grid.Apply(&cfg, &runScale, spec.Param, v); err != nil {
+				return nil, err
+			}
+		}
+		for _, b := range spec.Benchmarks {
+			cells = append(cells, &cell{
+				Bench: b, Value: v, cfg: cfg, scale: runScale, state: "pending",
+				key: store.RunKey{Cfg: cfg.Key(), Bench: b, Scale: runScale, Pair: spec.Pair},
+			})
+		}
+	}
+	return cells, nil
+}
+
+// submit registers the job (idempotently) and fans its cells across
+// the pool. The bool reports whether the job was newly created.
+func (s *Server) submit(spec JobSpec) (*job, error) {
+	spec = spec.normalize()
+	cells, err := buildCells(spec)
+	if err != nil {
+		return nil, err
+	}
+	id := spec.id()
+
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		s.mu.Unlock()
+		return j, nil
+	}
+	j := &job{ID: id, Spec: spec, Cells: cells}
+	j.cond = sync.NewCond(&j.mu)
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	if err := s.checkpoint(j); err != nil {
+		return nil, err
+	}
+	for _, c := range j.Cells {
+		s.enqueue(j, c)
+	}
+	return j, nil
+}
+
+// checkpoint durably records the job spec (atomic temp + rename), so a
+// restarted server can rebuild the grid. Completed-cell state needs no
+// separate record: it is exactly the set of store entries.
+func (s *Server) checkpoint(j *job) error {
+	b, err := json.MarshalIndent(j.Spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(s.opts.StateDir, "jobs")
+	tmp, err := os.CreateTemp(dir, ".job-*")
+	if err != nil {
+		return fmt.Errorf("sweepd: %w", err)
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweepd: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweepd: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, j.ID+".json")); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweepd: %w", err)
+	}
+	return nil
+}
+
+// enqueue runs one cell: store tier first, simulator on a miss. Cells
+// are keyed by their store hash, so overlapping jobs join the same
+// in-flight run instead of repeating it.
+func (s *Server) enqueue(j *job, c *cell) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		res, err := s.pool.Do(c.key.Hash(), func() (hetsim.Results, error) {
+			if s.closed.Load() {
+				return hetsim.Results{}, errClosed
+			}
+			if res, ok := s.cache.Get(c.key); ok {
+				s.restored.Add(1)
+				return res, nil
+			}
+			res, err := runCell(c)
+			if err != nil {
+				return hetsim.Results{}, err
+			}
+			s.executed.Add(1)
+			if perr := s.cache.Put(c.key, res); perr != nil {
+				fmt.Fprintf(s.opts.Log, "sweepd: cache write failed: %v\n", perr)
+			}
+			return res, nil
+		})
+		s.complete(j, c, res, err)
+	}()
+}
+
+// runCell performs the actual simulation, mirroring cmd/sweep.
+func runCell(c *cell) (hetsim.Results, error) {
+	if c.key.Pair {
+		return hetsim.RunPair(c.cfg, c.Bench, c.scale)
+	}
+	sys, err := hetsim.NewSystem(c.cfg, c.Bench)
+	if err != nil {
+		return hetsim.Results{}, err
+	}
+	return sys.Run(c.scale), nil
+}
+
+// complete records the finished cell and publishes its epoch series to
+// any live /epochs streams.
+func (s *Server) complete(j *job, c *cell, res hetsim.Results, err error) {
+	c.mu.Lock()
+	if err != nil {
+		c.state = "failed"
+		c.errMsg = err.Error()
+	} else {
+		c.state = "done"
+		c.header = res.CSVHeader()
+		c.row = res.CSVRow()
+	}
+	c.mu.Unlock()
+
+	var chunk []byte
+	if err == nil && res.Epochs != nil {
+		// The cell identity is spliced into every JSONL record through
+		// the same extra-column path the CLI sinks use, so a stream
+		// carrying many cells stays self-describing line by line.
+		var buf bytes.Buffer
+		if werr := res.Epochs.WriteJSONL(&buf,
+			[]string{"job", "bench", "param", "value"},
+			[]string{j.ID, c.Bench, j.Spec.Param, c.Value}); werr == nil {
+			chunk = buf.Bytes()
+		} else {
+			fmt.Fprintf(s.opts.Log, "sweepd: epoch encode failed: %v\n", werr)
+		}
+	}
+
+	j.mu.Lock()
+	if err != nil {
+		j.failed++
+	} else {
+		j.done++
+	}
+	j.epochLog = append(j.epochLog, chunk...)
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+// Status is the wire form of a job's progress.
+type Status struct {
+	ID     string  `json:"id"`
+	Spec   JobSpec `json:"spec"`
+	State  string  `json:"state"` // "running" | "done" | "failed"
+	Total  int     `json:"total"`
+	Done   int     `json:"done"`
+	Failed int     `json:"failed"`
+	// Executed and Restored are server-lifetime counters: cells that
+	// ran the simulator vs cells served from the durable store.
+	Executed uint64   `json:"executed"`
+	Restored uint64   `json:"restored"`
+	Errors   []string `json:"errors,omitempty"`
+}
+
+func (s *Server) status(j *job) Status {
+	j.mu.Lock()
+	done, failed := j.done, j.failed
+	j.mu.Unlock()
+	st := Status{
+		ID: j.ID, Spec: j.Spec, State: "running",
+		Total: len(j.Cells), Done: done, Failed: failed,
+		Executed: s.executed.Load(), Restored: s.restored.Load(),
+	}
+	if done+failed == len(j.Cells) {
+		if failed > 0 {
+			st.State = "failed"
+		} else {
+			st.State = "done"
+		}
+	}
+	for _, c := range j.Cells {
+		c.mu.Lock()
+		if c.errMsg != "" {
+			st.Errors = append(st.Errors, fmt.Sprintf("%s value=%q: %s", c.Bench, c.Value, c.errMsg))
+		}
+		c.mu.Unlock()
+	}
+	return st
+}
+
+// Handler builds the HTTP API:
+//
+//	POST /api/v1/sweeps              submit a JobSpec (idempotent)
+//	GET  /api/v1/sweeps              list job statuses
+//	GET  /api/v1/sweeps/{id}         one job's status
+//	GET  /api/v1/sweeps/{id}/results.csv   summary CSV (?wait=1 blocks)
+//	GET  /api/v1/sweeps/{id}/epochs  live per-epoch JSONL stream
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/sweeps", s.handleList)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/results.csv", s.handleResults)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/epochs", s.handleEpochs)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		http.Error(w, errClosed.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	var spec JobSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		http.Error(w, "bad spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	j, err := s.submit(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(s.status(j))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = s.status(j)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) lookup(r *http.Request) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[r.PathValue("id")]
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.status(j))
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		j.mu.Lock()
+		for !j.finished() {
+			j.cond.Wait()
+		}
+		j.mu.Unlock()
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	cw := csv.NewWriter(w)
+	wroteHeader := false
+	for _, c := range j.Cells {
+		c.mu.Lock()
+		state, header, row := c.state, c.header, c.row
+		bench, value := c.Bench, c.Value
+		c.mu.Unlock()
+		if state != "done" {
+			continue
+		}
+		if !wroteHeader {
+			cw.Write(append([]string{"param", "value", "bench"}, header...))
+			wroteHeader = true
+		}
+		cw.Write(append([]string{j.Spec.Param, value, bench}, row...))
+	}
+	cw.Flush()
+}
+
+// handleEpochs streams the job's per-epoch JSONL live: whatever has
+// accumulated is sent immediately, then the stream follows cell
+// completions and closes when the grid is finished.
+func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r)
+	if j == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	flusher, _ := w.(http.Flusher)
+
+	// Wake the waiter when the client goes away so the handler's
+	// goroutine doesn't outlive the connection.
+	done := r.Context().Done()
+	go func() {
+		<-done
+		j.cond.Broadcast()
+	}()
+
+	off := 0
+	for {
+		j.mu.Lock()
+		for off == len(j.epochLog) && !j.finished() {
+			select {
+			case <-done:
+				j.mu.Unlock()
+				return
+			default:
+			}
+			j.cond.Wait()
+		}
+		chunk := j.epochLog[off:]
+		off = len(j.epochLog)
+		fin := j.finished()
+		j.mu.Unlock()
+
+		if len(chunk) > 0 {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if fin {
+			return
+		}
+	}
+}

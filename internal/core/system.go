@@ -357,6 +357,19 @@ type Results struct {
 	Epochs *telemetry.Series
 }
 
+// Clone deep-copies the results: the scalar fields by value plus fresh
+// storage for IPCs and Epochs. Memoizing layers (the experiment
+// runner, the durable run store) hand Clones to callers so one caller
+// mutating a cached hit can never poison what later callers see.
+func (r Results) Clone() Results {
+	out := r
+	out.IPCs = append([]float64(nil), r.IPCs...)
+	if r.Epochs != nil {
+		out.Epochs = r.Epochs.Clone()
+	}
+	return out
+}
+
 // Run executes prewarm, warmup, then a measured window.
 func (s *System) Run(scale RunScale) Results {
 	s.prewarm(scale.PrewarmOps)

@@ -1,0 +1,127 @@
+// Package grid constructs sweep cells: it maps the CLI-level names for
+// configurations, run scales, and swept parameters onto concrete
+// core.SystemConfig / core.RunScale values. cmd/hetsim, cmd/sweep and
+// cmd/sweepd all build their grids through this one table, so a
+// configuration submitted over HTTP to the job server is — by
+// construction — the same configuration a local sweep would run, and
+// both address the same durable store entries.
+package grid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hetsim/internal/core"
+)
+
+// Config maps a CLI configuration name to its SystemConfig.
+func Config(name string, cores int) (core.SystemConfig, error) {
+	switch strings.ToLower(name) {
+	case "baseline", "ddr3":
+		return core.Baseline(cores), nil
+	case "lpddr2":
+		return core.HomogeneousLPDDR2(cores), nil
+	case "rldram3":
+		return core.HomogeneousRLDRAM3(cores), nil
+	case "rd":
+		return core.RD(cores), nil
+	case "rl":
+		return core.RL(cores), nil
+	case "dl":
+		return core.DL(cores), nil
+	case "rl-ad":
+		cfg := core.RL(cores)
+		cfg.Placement = core.PlaceAdaptive
+		cfg.Name = "RL-AD"
+		return cfg, nil
+	case "rl-or":
+		cfg := core.RL(cores)
+		cfg.Placement = core.PlaceOracle
+		cfg.Name = "RL-OR"
+		return cfg, nil
+	case "rl-random":
+		cfg := core.RL(cores)
+		cfg.Placement = core.PlaceRandom
+		cfg.Name = "RL-random"
+		return cfg, nil
+	case "hmc":
+		return core.HMCHetero(cores), nil
+	default:
+		return core.SystemConfig{}, fmt.Errorf("unknown config %q", name)
+	}
+}
+
+// ConfigNames lists the accepted configuration names (for usage text
+// and API error messages).
+func ConfigNames() []string {
+	return []string{"baseline", "lpddr2", "rldram3", "rd", "rl", "dl",
+		"rl-ad", "rl-or", "rl-random", "hmc"}
+}
+
+// Scale maps a CLI scale name to its RunScale.
+func Scale(name string) (core.RunScale, error) {
+	switch strings.ToLower(name) {
+	case "test":
+		return core.TestScale(), nil
+	case "bench":
+		return core.BenchScale(), nil
+	case "paper":
+		return core.PaperScale(), nil
+	default:
+		return core.RunScale{}, fmt.Errorf("unknown scale %q (test|bench|paper)", name)
+	}
+}
+
+// Params lists the swept parameters Apply understands.
+func Params() []string {
+	return []string{"robsize", "cores", "parityrate", "faultrate", "reads"}
+}
+
+// Apply mutates cfg and scale for one grid point: param names a swept
+// axis, value its position. The applied value is also folded into
+// cfg.Name ("RL[robsize=64]") so rows and cache index entries stay
+// self-describing.
+func Apply(cfg *core.SystemConfig, scale *core.RunScale, param, value string) error {
+	switch strings.ToLower(param) {
+	case "robsize":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("grid: robsize %q: %w", value, err)
+		}
+		cfg.ROBSize = n
+	case "cores":
+		n, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("grid: cores %q: %w", value, err)
+		}
+		cfg.NCores = n
+	case "parityrate":
+		p, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("grid: parityrate %q: %w", value, err)
+		}
+		cfg.CritParityErrorRate = p
+	case "faultrate":
+		p, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("grid: faultrate %q: %w", value, err)
+		}
+		// A uniform transient-bit rate on both DIMM classes: the
+		// headline fault-sensitivity axis.
+		cfg.Faults.Crit.TransientBit = p
+		cfg.Faults.Line.TransientBit = p
+	case "reads":
+		n, err := strconv.ParseUint(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("grid: reads %q: %w", value, err)
+		}
+		scale.MeasureReads = n
+		scale.WarmupReads = n / 10
+	default:
+		return fmt.Errorf("grid: unknown parameter %q (one of %s)",
+			param, strings.Join(Params(), "|"))
+	}
+	cfg.Name = fmt.Sprintf("%s[%s=%s]", cfg.Name, strings.ToLower(param), value)
+	return nil
+}

@@ -1,0 +1,85 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+
+	"hetsim/internal/core"
+)
+
+func TestConfigNamesAllResolve(t *testing.T) {
+	for _, name := range ConfigNames() {
+		cfg, err := Config(name, 8)
+		if err != nil {
+			t.Fatalf("Config(%q): %v", name, err)
+		}
+		if cfg.NCores != 8 {
+			t.Fatalf("Config(%q) cores = %d", name, cfg.NCores)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Config(%q) invalid: %v", name, err)
+		}
+		// Case-insensitive, like the CLIs always were.
+		if _, err := Config(strings.ToUpper(name), 8); err != nil {
+			t.Fatalf("Config(%q) not case-insensitive", name)
+		}
+	}
+	if _, err := Config("nonsense", 8); err == nil {
+		t.Fatal("unknown config accepted")
+	}
+}
+
+func TestScaleNames(t *testing.T) {
+	for _, name := range []string{"test", "bench", "paper"} {
+		s, err := Scale(name)
+		if err != nil {
+			t.Fatalf("Scale(%q): %v", name, err)
+		}
+		if s.MeasureReads == 0 {
+			t.Fatalf("Scale(%q) has zero measured reads", name)
+		}
+	}
+	if _, err := Scale("huge"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestApply(t *testing.T) {
+	cases := []struct {
+		param, value string
+		check        func(cfg core.SystemConfig, sc core.RunScale) bool
+	}{
+		{"robsize", "128", func(c core.SystemConfig, s core.RunScale) bool { return c.ROBSize == 128 }},
+		{"cores", "4", func(c core.SystemConfig, s core.RunScale) bool { return c.NCores == 4 }},
+		{"parityrate", "0.25", func(c core.SystemConfig, s core.RunScale) bool { return c.CritParityErrorRate == 0.25 }},
+		{"faultrate", "1e-4", func(c core.SystemConfig, s core.RunScale) bool {
+			return c.Faults.Crit.TransientBit == 1e-4 && c.Faults.Line.TransientBit == 1e-4
+		}},
+		{"reads", "5000", func(c core.SystemConfig, s core.RunScale) bool {
+			return s.MeasureReads == 5000 && s.WarmupReads == 500
+		}},
+	}
+	for _, tc := range cases {
+		cfg := core.RL(8)
+		sc := core.TestScale()
+		if err := Apply(&cfg, &sc, tc.param, tc.value); err != nil {
+			t.Fatalf("Apply(%s=%s): %v", tc.param, tc.value, err)
+		}
+		if !tc.check(cfg, sc) {
+			t.Fatalf("Apply(%s=%s) did not take effect", tc.param, tc.value)
+		}
+		want := "RL[" + tc.param + "=" + tc.value + "]"
+		if cfg.Name != want {
+			t.Fatalf("Apply(%s=%s) name = %q, want %q", tc.param, tc.value, cfg.Name, want)
+		}
+	}
+
+	cfg := core.RL(8)
+	sc := core.TestScale()
+	if err := Apply(&cfg, &sc, "warp", "9"); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+	if err := Apply(&cfg, &sc, "robsize", "not-a-number"); err == nil {
+		t.Fatal("malformed value accepted")
+	}
+}

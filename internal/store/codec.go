@@ -1,0 +1,119 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"hetsim/internal/core"
+)
+
+// Schema versions the entry payload encoding and the meaning of the
+// stored Results. Bump it whenever core.Results gains or reinterprets
+// a field, or the simulator's outputs change for identical configs:
+// every existing entry then decodes as stale and is transparently
+// re-run and overwritten. (The key hash, by contrast, changes
+// automatically whenever a configuration-identity field is added.)
+const Schema = 1
+
+// magic leads every entry file.
+var magic = []byte("HETSTOR1")
+
+// header is the self-describing JSON line between the magic and the
+// payload. It binds the payload to its key and guards it with a
+// checksum; the header itself needs no checksum because every field
+// is verified against an independent expectation (magic bytes, schema
+// constant, requested key, payload length and digest).
+type header struct {
+	Schema int    `json:"schema"`
+	Key    string `json:"key"`         // hex SHA-256 of the RunKey canonical form
+	Len    int    `json:"payload_len"` // payload byte count
+	Sum    string `json:"payload_sha"` // hex SHA-256 of the payload
+	Config string `json:"config"`      // human-readable identity, not verified
+	Bench  string `json:"bench"`       //
+}
+
+// Decode failure classes, surfaced in Store.Stats.
+var (
+	errMagic    = errors.New("store: bad magic")
+	errSchema   = errors.New("store: stale schema")
+	errKey      = errors.New("store: entry/key mismatch")
+	errChecksum = errors.New("store: payload checksum mismatch")
+)
+
+// Encode renders one entry: magic, header line, gob payload. The gob
+// encoding of a float64 is its exact bit pattern, so Results round-trip
+// bit-identically — including NaNs a degenerate run might record —
+// which is what lets a warm (all-hits) sweep reproduce a cold sweep's
+// output byte for byte.
+func Encode(k RunKey, res core.Results) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(res); err != nil {
+		return nil, fmt.Errorf("store: encode results: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	h := header{
+		Schema: Schema,
+		Key:    k.Hash(),
+		Len:    payload.Len(),
+		Sum:    hex.EncodeToString(sum[:]),
+		Config: k.Cfg.Name,
+		Bench:  k.Bench,
+	}
+	hb, err := json.Marshal(h)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode header: %w", err)
+	}
+	out := make([]byte, 0, len(magic)+1+len(hb)+1+payload.Len())
+	out = append(out, magic...)
+	out = append(out, '\n')
+	out = append(out, hb...)
+	out = append(out, '\n')
+	out = append(out, payload.Bytes()...)
+	return out, nil
+}
+
+// Decode parses and verifies one entry against the key the caller is
+// looking up. A flip anywhere in the magic, the verified header
+// fields, or the payload yields an error — never silently different
+// Results (the advisory config/bench labels are the one unverified
+// region; they carry no data). The gob decoder only ever sees bytes
+// whose SHA-256 matched the header, so corrupted payloads cannot
+// reach it.
+func Decode(b []byte, want RunKey) (core.Results, error) {
+	if len(b) < len(magic)+1 || !bytes.Equal(b[:len(magic)], magic) || b[len(magic)] != '\n' {
+		return core.Results{}, errMagic
+	}
+	rest := b[len(magic)+1:]
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return core.Results{}, fmt.Errorf("store: truncated header")
+	}
+	var h header
+	if err := json.Unmarshal(rest[:nl], &h); err != nil {
+		return core.Results{}, fmt.Errorf("store: parse header: %w", err)
+	}
+	if h.Schema != Schema {
+		return core.Results{}, fmt.Errorf("%w: entry %d, current %d", errSchema, h.Schema, Schema)
+	}
+	if h.Key != want.Hash() {
+		return core.Results{}, errKey
+	}
+	payload := rest[nl+1:]
+	if len(payload) != h.Len {
+		return core.Results{}, fmt.Errorf("store: payload is %d bytes, header says %d", len(payload), h.Len)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != h.Sum {
+		return core.Results{}, errChecksum
+	}
+	var res core.Results
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&res); err != nil {
+		return core.Results{}, fmt.Errorf("store: decode results: %w", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,198 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"hetsim/internal/core"
+)
+
+// Store is a durable, content-addressed result cache rooted at one
+// directory. It is safe for concurrent use by any number of goroutines
+// and — because writes are temp-file + rename and object content is
+// a pure function of its path — by any number of processes sharing
+// the directory: concurrent writers of the same key race to install
+// byte-identical files, and a reader sees either a complete entry or
+// none.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats counts store activity since Open.
+type Stats struct {
+	// Hits is the number of Gets served from a verified entry.
+	Hits uint64
+	// Misses is the number of Gets that found no entry.
+	Misses uint64
+	// Corrupt is the number of Gets that found an entry but rejected
+	// it (truncation, checksum, stale schema, key mismatch). Each is
+	// also counted as a miss, and the bad file is removed so the next
+	// Put heals it.
+	Corrupt uint64
+	// Writes is the number of entries installed by Put.
+	Writes uint64
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir reports the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// objectPath maps a key hash to its entry file, fanned out over a
+// two-hex-digit directory level so huge sweeps don't pile every entry
+// into one directory.
+func (s *Store) objectPath(hash string) string {
+	return filepath.Join(s.dir, "objects", hash[:2], hash+".run")
+}
+
+// Get looks the key up, returning ok=false on a miss or on any entry
+// that fails verification — a corrupt entry is deleted so the re-run's
+// Put can heal it. The returned Results are freshly decoded and owned
+// by the caller; mutating them cannot affect later Gets.
+func (s *Store) Get(k RunKey) (core.Results, bool) {
+	b, err := os.ReadFile(s.objectPath(k.Hash()))
+	if err != nil {
+		s.count(func(st *Stats) { st.Misses++ })
+		return core.Results{}, false
+	}
+	res, err := Decode(b, k)
+	if err != nil {
+		// Quarantine by deletion: a bad entry must never shadow the
+		// path its healthy replacement will be renamed onto.
+		os.Remove(s.objectPath(k.Hash()))
+		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		return core.Results{}, false
+	}
+	s.count(func(st *Stats) { st.Hits++ })
+	return res, true
+}
+
+// Put installs the entry for the key atomically: encode, write to a
+// temp file in the same directory, rename into place. A crash at any
+// point leaves either the old entry, the new entry, or an orphaned
+// temp file — never a torn object at the content address.
+func (s *Store) Put(k RunKey, res core.Results) error {
+	b, err := Encode(k, res)
+	if err != nil {
+		return err
+	}
+	path := s.objectPath(k.Hash())
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.count(func(st *Stats) { st.Writes++ })
+	s.appendIndex(k, res)
+	return nil
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// IndexEntry is one line of the advisory index: enough human-readable
+// identity to answer "what is in this cache?" without decoding
+// objects. The object files are the truth; the index is best-effort.
+type IndexEntry struct {
+	Key    string `json:"key"`
+	Config string `json:"config"`
+	Bench  string `json:"bench"`
+	Pair   bool   `json:"pair"`
+	Reads  uint64 `json:"measure_reads"`
+}
+
+// appendIndex records the Put in index.jsonl. One O_APPEND write per
+// line keeps concurrent writers from interleaving bytes; duplicates
+// (two processes caching the same key) are tolerated and deduplicated
+// at read time. Index failures are deliberately swallowed — the cache
+// works without it.
+func (s *Store) appendIndex(k RunKey, res core.Results) {
+	e := IndexEntry{Key: k.Hash(), Config: k.Cfg.Name, Bench: k.Bench,
+		Pair: k.Pair, Reads: k.Scale.MeasureReads}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, "index.jsonl"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	f.Write(append(b, '\n'))
+}
+
+// Index reads the advisory index, skipping corrupt lines (a torn
+// write from a killed process) and deduplicating by key hash, newest
+// line winning. An absent index is an empty one.
+func (s *Store) Index() ([]IndexEntry, error) {
+	f, err := os.Open(filepath.Join(s.dir, "index.jsonl"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	seen := map[string]int{}
+	var out []IndexEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e IndexEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Key == "" {
+			continue
+		}
+		if i, ok := seen[e.Key]; ok {
+			out[i] = e
+			continue
+		}
+		seen[e.Key] = len(out)
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("store: %w", err)
+	}
+	return out, nil
+}

@@ -22,6 +22,16 @@ type Series struct {
 // NumRows reports the number of epochs.
 func (s *Series) NumRows() int { return len(s.Cycles) }
 
+// Clone deep-copies the series so a caller can mutate its copy without
+// affecting anyone sharing the original (e.g. a memoized run result).
+func (s *Series) Clone() *Series {
+	return &Series{
+		Cols:   append([]string(nil), s.Cols...),
+		Cycles: append([]sim.Cycle(nil), s.Cycles...),
+		Data:   append([]float64(nil), s.Data...),
+	}
+}
+
 // Row returns epoch i's values, aliased into the flat storage.
 func (s *Series) Row(i int) []float64 {
 	n := len(s.Cols)
