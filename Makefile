@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz faults bench bench-json bench-controller bench-telemetry bench-store sweepd profile verify
+.PHONY: build vet test race fuzz faults bench bench-json bench-parallel bench-controller bench-telemetry bench-store sweepd profile profile-parallel verify
 
 build:
 	$(GO) build ./...
@@ -46,8 +46,18 @@ bench-json:
 	{ $(GO) test -bench 'BenchmarkKernel' -benchmem -run '^$$' ./internal/sim/ && \
 	  $(GO) test -bench 'BenchmarkController' -benchmem -run '^$$' ./internal/memctrl/ && \
 	  $(GO) test -bench 'BenchmarkHierarchyReadPath' -benchmem -run '^$$' ./internal/core/ && \
-	  $(GO) test -bench 'BenchmarkSimulatorSpeed' -benchmem -benchtime 5x -run '^$$' . ; } \
+	  $(GO) test -bench 'BenchmarkSimulatorSpeed|BenchmarkSystemParallel' -benchmem -benchtime 5x -run '^$$' . ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_kernel.json
+
+# Lane-parallel execution baseline as committed JSON (see DESIGN.md
+# "Parallel lane execution"): the serial reference run next to the same
+# run on lanes, plus the barrier-heavy DL variant. ns/op ratios only
+# mean something with the recorded core count — regenerate on a
+# multi-core host after lane or drive-loop changes and commit the diff.
+bench-parallel:
+	$(GO) test -bench 'BenchmarkSimulatorSpeed|BenchmarkSystemParallel' \
+		-benchmem -benchtime 5x -run '^$$' . \
+	| $(GO) run ./cmd/benchjson > BENCH_parallel.json
 
 # Controller scheduling baseline as committed JSON (see DESIGN.md
 # "Controller scheduling performance"): the controller microbenchmark
@@ -84,5 +94,13 @@ profile:
 	$(GO) run ./cmd/experiments -only fig6 -benchmarks libquantum,mcf -scale test \
 		-cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
 	@echo "wrote cpu.pprof and mem.pprof"
+
+# The same profiles under lane-parallel execution. Expect runtime
+# scheduler frames (park/unpark around the window barriers); see
+# DESIGN.md "Profiling the simulator" for how to read them.
+profile-parallel:
+	$(GO) run ./cmd/experiments -only fig6 -benchmarks libquantum,mcf -scale test \
+		-parallel -cpuprofile cpu-parallel.pprof -memprofile mem-parallel.pprof > /dev/null
+	@echo "wrote cpu-parallel.pprof and mem-parallel.pprof"
 
 verify: build vet test race

@@ -353,10 +353,51 @@ func BenchmarkSimulatorSpeed(b *testing.B) {
 	if testing.Short() {
 		b.Skip("full-system benchmark; skipped in -short mode")
 	}
+	benchSimulatorSpeed(b, false)
+}
+
+// BenchmarkSystemParallelSpeed is the same run with the crit and line
+// controller domains on separate event lanes (SystemConfig.Parallel).
+// Compare against BenchmarkSimulatorSpeed to read the lane speedup; on
+// a single-core host the handoff overhead makes this a regression, so
+// the recorded numbers state the core count.
+func BenchmarkSystemParallelSpeed(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-system benchmark; skipped in -short mode")
+	}
+	benchSimulatorSpeed(b, true)
+}
+
+func benchSimulatorSpeed(b *testing.B, parallel bool) {
 	b.ReportAllocs()
 	var reads uint64
 	for i := 0; i < b.N; i++ {
-		sys, err := hetsim.NewSystem(hetsim.RL(8), "libquantum")
+		cfg := hetsim.RL(8)
+		cfg.Parallel = parallel
+		sys, err := hetsim.NewSystem(cfg, "libquantum")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := sys.Run(hetsim.Scale{WarmupReads: 500, MeasureReads: 5000, MaxCycles: 50_000_000})
+		reads += res.DemandReads
+	}
+	b.ReportMetric(float64(reads)/float64(b.N), "reads")
+	b.ReportMetric(float64(reads)/b.Elapsed().Seconds(), "reads/sec")
+}
+
+// BenchmarkSystemParallelDL exercises the lane loop's barrier path: DL's
+// DDR3 critical channel refreshes, so every window is capped by a
+// maintenance deadline.
+func BenchmarkSystemParallelDL(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-system benchmark; skipped in -short mode")
+	}
+	b.ReportAllocs()
+	var reads uint64
+	for i := 0; i < b.N; i++ {
+		cfg := hetsim.DL(8)
+		cfg.Parallel = true
+		sys, err := hetsim.NewSystem(cfg, "libquantum")
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -22,6 +22,7 @@ func main() {
 	cores := flag.Int("cores", 8, "core count")
 	workers := flag.Int("j", 0, "parallel runs (0 = GOMAXPROCS, 1 = serial; output is identical)")
 	cacheDir := flag.String("cache-dir", "", "durable run cache directory: hit entries replace simulations, output stays byte-identical")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries past this total size (0 = unlimited; needs -cache-dir)")
 	flag.Parse()
 
 	var scale hetsim.Scale
@@ -58,6 +59,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		st.SetMaxBytes(*cacheMax)
 		opts.Store = st
 	}
 	runner := hetsim.NewExperiments(opts)

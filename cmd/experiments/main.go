@@ -36,6 +36,8 @@ func main() {
 	measure := flag.Uint64("measure", 0, "override measured DRAM reads per run (0 = scale default)")
 	workers := flag.Int("j", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial; results are identical)")
 	cacheDir := flag.String("cache-dir", "", "durable run cache directory: hit entries replace simulations, output stays byte-identical")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries past this total size (0 = unlimited; needs -cache-dir)")
+	parallel := flag.Bool("parallel", false, "run crit/line channel controllers on separate goroutines where the organization permits (output is byte-identical)")
 	faultSpec := flag.String("faults", "", `fault environment applied to every run, e.g. "crit.bit=1e-4; line.bit=1e-4; @1000 chipkill line 0 3"`)
 	faultSeed := flag.Uint64("fault-seed", 0, "override the fault-injection RNG seed (with -faults)")
 	verbose := flag.Bool("v", false, "log each run")
@@ -77,13 +79,15 @@ func main() {
 		os.Exit(2)
 	}
 	scale.EpochInterval = sim.Cycle(*epochInterval)
-	opts := exp.Options{Scale: scale, NCores: *cores, Seed: *seed, Workers: *workers}
+	opts := exp.Options{Scale: scale, NCores: *cores, Seed: *seed,
+		Workers: *workers, Parallel: *parallel}
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(2)
 		}
+		st.SetMaxBytes(*cacheMax)
 		opts.Store = st
 	}
 	if *faultSpec != "" {

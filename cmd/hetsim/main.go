@@ -45,6 +45,7 @@ func main() {
 	epochInterval := flag.Int64("epoch-interval", 0, "sample telemetry every N cycles of the measured window (0 = off)")
 	epochCSV := flag.String("epoch-csv", "", "stream the per-epoch time-series as CSV to this file (needs -epoch-interval)")
 	epochJSONL := flag.String("epoch-jsonl", "", "stream the per-epoch time-series as JSON lines to this file (needs -epoch-interval)")
+	parallel := flag.Bool("parallel", false, "run crit/line channel controllers on separate goroutines where the organization permits (output is byte-identical)")
 	flag.Parse()
 
 	if *list {
@@ -59,6 +60,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hetsim:", err)
 		os.Exit(2)
 	}
+	cfg.Parallel = *parallel
 	scale, err := scaleByName(*scaleName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetsim:", err)

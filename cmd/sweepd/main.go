@@ -28,15 +28,17 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8321", "listen address")
 	cacheDir := flag.String("cache-dir", ".hetsim-cache", "durable run cache directory (doubles as the completed-cell checkpoint)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries past this total size (0 = unlimited)")
 	stateDir := flag.String("state-dir", ".hetsim-sweepd", "job spec directory; accepted sweeps survive restarts")
 	workers := flag.Int("j", 0, "parallel simulations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	srv, err := NewServer(Options{
-		CacheDir: *cacheDir,
-		StateDir: *stateDir,
-		Workers:  *workers,
-		Log:      os.Stderr,
+		CacheDir:      *cacheDir,
+		StateDir:      *stateDir,
+		CacheMaxBytes: *cacheMax,
+		Workers:       *workers,
+		Log:           os.Stderr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sweepd:", err)

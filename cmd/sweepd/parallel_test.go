@@ -1,0 +1,106 @@
+package main
+
+import (
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// cellStreams splits a multi-cell epoch JSONL stream into one
+// sub-stream per cell, keyed by the bench/value identity every line
+// carries. Cells complete in whatever order the worker pool schedules
+// them — the stream interleaves cells nondeterministically, which is
+// exactly why each line is self-describing — but within one cell the
+// lines are a single WriteJSONL chunk in epoch order, so the per-cell
+// sub-streams are the deterministic unit of comparison.
+func cellStreams(t *testing.T, epochs string) map[string]string {
+	t.Helper()
+	field := func(line, name string) string {
+		tag := `"` + name + `":"`
+		i := strings.Index(line, tag)
+		if i < 0 {
+			t.Fatalf("epoch line missing %q column: %s", name, line)
+		}
+		rest := line[i+len(tag):]
+		j := strings.IndexByte(rest, '"')
+		if j < 0 {
+			t.Fatalf("unterminated %q column: %s", name, line)
+		}
+		return rest[:j]
+	}
+	out := make(map[string]string)
+	for _, line := range strings.Split(epochs, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		key := field(line, "bench") + "/" + field(line, "value")
+		out[key] += line + "\n"
+	}
+	return out
+}
+
+// TestSweepdParallelEpochsIdentical runs the canonical grid twice end
+// to end — once serial, once with lane-parallel cells — against
+// separate cache directories (SystemConfig.Parallel is excluded from
+// the store key precisely because output is byte-identical, so a
+// shared cache would let the second job restore the first job's
+// entries and the comparison would never exercise the parallel
+// kernel). The summary CSV and every cell's per-epoch JSONL
+// sub-stream must match byte for byte, up to the job ID embedded in
+// every epoch line (the spec's parallel field is part of the job's
+// identity).
+func TestSweepdParallelEpochsIdentical(t *testing.T) {
+	run := func(parallel bool) (csvText, epochs string, executed uint64) {
+		dir := t.TempDir()
+		h := newHarness(t, filepath.Join(dir, "cache"), filepath.Join(dir, "state"), 1)
+		defer h.srv.Close()
+		spec := testSpec()
+		spec.Parallel = parallel
+		st := h.submit(t, spec)
+		fin := h.waitDone(t, st.ID)
+		if fin.State != "done" || fin.Failed != 0 {
+			t.Fatalf("parallel=%v job did not finish cleanly: %+v", parallel, fin)
+		}
+		// Scrub the job ID so the streams compare byte-identical.
+		ep := strings.ReplaceAll(h.epochs(t, st.ID), st.ID, "JOB")
+		return h.resultsCSV(t, st.ID), ep, h.srv.executed.Load()
+	}
+
+	serialCSV, serialEpochs, _ := run(false)
+	parCSV, parEpochs, executed := run(true)
+	if executed != 4 {
+		t.Fatalf("parallel job executed %d cells, want 4 (a cache hit would make this vacuous)", executed)
+	}
+	if parCSV != serialCSV {
+		t.Errorf("summary CSV diverged:\nserial:\n%s\nparallel:\n%s", serialCSV, parCSV)
+	}
+	ss, ps := cellStreams(t, serialEpochs), cellStreams(t, parEpochs)
+	var keys []string
+	for k := range ss {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(ps) != len(ss) {
+		t.Errorf("cell sets diverged: serial has %d cells, parallel %d", len(ss), len(ps))
+	}
+	for _, k := range keys {
+		if ps[k] == ss[k] {
+			continue
+		}
+		sl, pl := strings.Split(ss[k], "\n"), strings.Split(ps[k], "\n")
+		for i := 0; i < len(sl) && i < len(pl); i++ {
+			if sl[i] != pl[i] {
+				t.Logf("cell %s: first divergence at line %d:\nserial   %s\nparallel %s", k, i, sl[i], pl[i])
+				break
+			}
+		}
+		t.Errorf("cell %s epoch stream diverged (%d vs %d bytes)", k, len(ss[k]), len(ps[k]))
+	}
+	if len(keys) == 0 {
+		t.Fatal("epoch stream is empty")
+	}
+	if !strings.Contains(serialEpochs, "sim.events") {
+		t.Error("epoch stream carries no sim.events column; the identity check lost its strongest signal")
+	}
+}

@@ -37,6 +37,10 @@ type JobSpec struct {
 	Cores         int      `json:"cores,omitempty"`
 	Pair          bool     `json:"pair,omitempty"`
 	EpochInterval int64    `json:"epoch_interval,omitempty"`
+	// Parallel selects lane-parallel execution for each cell. Output is
+	// byte-identical to serial and the store key does not include it, so
+	// serial and parallel jobs share cache entries.
+	Parallel bool `json:"parallel,omitempty"`
 }
 
 // normalize fills defaults and canonicalizes free-form fields so that
@@ -106,6 +110,9 @@ type Options struct {
 	// StateDir holds one spec file per accepted job; NewServer re-reads
 	// it so a restarted server resumes every known sweep.
 	StateDir string
+	// CacheMaxBytes caps the store's objects tree; past it the store
+	// evicts least-recently-used entries (0 = unlimited).
+	CacheMaxBytes int64
 	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
 	Workers int
 	// Log receives operational messages (nil = discard).
@@ -145,6 +152,7 @@ func NewServer(opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache.SetMaxBytes(opts.CacheMaxBytes)
 	if opts.StateDir == "" {
 		return nil, fmt.Errorf("sweepd: empty state directory")
 	}
@@ -241,6 +249,7 @@ func buildCells(spec JobSpec) ([]*cell, error) {
 		if err != nil {
 			return nil, err
 		}
+		cfg.Parallel = spec.Parallel
 		runScale := scale
 		if spec.Param != "" {
 			if err := grid.Apply(&cfg, &runScale, spec.Param, v); err != nil {

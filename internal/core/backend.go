@@ -218,13 +218,25 @@ type cwfBackend struct {
 	wideRank  bool
 	groups    []ChannelGroup
 
+	// lineLn/critLn are the event lanes of the two domains. They default
+	// to the engine's main-queue proxy (serial mode); enableParallel
+	// swaps in real lanes so the two controller sets advance on separate
+	// goroutines between synchronization horizons.
+	lineLn *sim.Lane
+	critLn *sim.Lane
+
 	// critDead is set by DegradeCrit: the RLDRAM DIMM is lost and the
 	// organization serves everything from the line channels (no early
 	// word, conventional burst-reorder only).
 	critDead bool
 
 	sink fillSink
-	pool memctrl.Pool
+	// One request pool per domain: write completions return requests to
+	// the pool from inside their controller's lane, so the two domains
+	// must not share a freelist. (Get zeroes the request, so the split
+	// is invisible to the serial mode.)
+	linePool memctrl.Pool
+	critPool memctrl.Pool
 
 	critDoneFn   func(*memctrl.Request)
 	lineIssuedFn func(*memctrl.Request)
@@ -248,6 +260,8 @@ type cwfOptions struct {
 
 func newCWF(eng *sim.Engine, lineCfg, critCfg dram.Config, opt cwfOptions) *cwfBackend {
 	b := &cwfBackend{eng: eng, sharedCmd: &dram.CmdBus{}, wideRank: opt.wideRank}
+	b.lineLn = eng.MainLane()
+	b.critLn = eng.MainLane()
 	b.critDoneFn = b.critDone
 	b.lineIssuedFn = b.lineIssued
 	b.lineDoneFn = b.lineDone
@@ -269,7 +283,7 @@ func newCWF(eng *sim.Engine, lineCfg, critCfg dram.Config, opt cwfOptions) *cwfB
 		lcc := memctrl.DefaultConfig(lineCfg.Kind)
 		lcc.DeepSleep = opt.deepSleep
 		ctrl := memctrl.New(eng, lc, lcc)
-		ctrl.Pool = &b.pool
+		ctrl.Pool = &b.linePool
 		b.lineChan = append(b.lineChan, lc)
 		b.lineCtrl = append(b.lineCtrl, ctrl)
 	}
@@ -287,7 +301,7 @@ func newCWF(eng *sim.Engine, lineCfg, critCfg dram.Config, opt cwfOptions) *cwfB
 		ccc.HighWatermark = 32 / critSubs
 		ccc.LowWatermark = 16 / critSubs
 		ctrl := memctrl.New(eng, cc, ccc)
-		ctrl.Pool = &b.pool
+		ctrl.Pool = &b.critPool
 		b.critChan = append(b.critChan, cc)
 		b.critCtrl = append(b.critCtrl, ctrl)
 	}
@@ -345,9 +359,12 @@ func (b *cwfBackend) critDone(r *memctrl.Request) {
 }
 
 // lineIssued (via Request.OnIssue) schedules requested-word delivery on
-// the line part's first (reordered) beat.
+// the line part's first (reordered) beat. It runs in the issuing
+// controller's lane, and the delivery is a cross-domain emission to the
+// hierarchy — the first beat is at least TRL past the issue cycle, which
+// is the lookahead the line lane was created with.
 func (b *cwfBackend) lineIssued(r *memctrl.Request) {
-	b.eng.ScheduleEventAt(firstBeat(r, b.lineChan[r.Tag]), b.reqWordH, r)
+	b.lineLn.ScheduleMainEventAt(firstBeat(r, b.lineChan[r.Tag]), b.reqWordH, r)
 }
 
 // lineDone (via Request.OnComplete) delivers the full line.
@@ -363,7 +380,7 @@ func (b *cwfBackend) IssueFill(e *cache.Entry) bool {
 		if !b.lineCtrl[chIdx].CanAcceptRead() {
 			return false
 		}
-		lineReq := b.pool.Get()
+		lineReq := b.linePool.Get()
 		lineReq.Addr = local
 		lineReq.Prefetch = e.Prefetch
 		lineReq.Ctx = e
@@ -371,7 +388,7 @@ func (b *cwfBackend) IssueFill(e *cache.Entry) bool {
 		lineReq.OnIssue = b.lineIssuedFn
 		lineReq.OnComplete = b.lineDoneFn
 		if !b.lineCtrl[chIdx].EnqueueRead(lineReq) {
-			b.pool.Put(lineReq)
+			b.linePool.Put(lineReq)
 			return false
 		}
 		return true
@@ -384,16 +401,16 @@ func (b *cwfBackend) IssueFill(e *cache.Entry) bool {
 	if !b.lineCtrl[chIdx].CanAcceptRead() || !b.critCtrl[cs].CanAcceptRead() {
 		return false
 	}
-	critReq := b.pool.Get()
+	critReq := b.critPool.Get()
 	critReq.Addr = critLocal
 	critReq.Prefetch = e.Prefetch
 	critReq.Ctx = e
 	critReq.OnComplete = b.critDoneFn
 	if !b.critCtrl[cs].EnqueueRead(critReq) {
-		b.pool.Put(critReq)
+		b.critPool.Put(critReq)
 		return false
 	}
-	lineReq := b.pool.Get()
+	lineReq := b.linePool.Get()
 	lineReq.Addr = local
 	lineReq.Prefetch = e.Prefetch
 	lineReq.Ctx = e
@@ -426,14 +443,14 @@ func (b *cwfBackend) IssueWriteback(lineAddr uint64) bool {
 		if b.wideRank {
 			critLocal = lineAddr
 		}
-		critReq := b.pool.Get()
+		critReq := b.critPool.Get()
 		critReq.Addr = critLocal
 		if !b.critCtrl[cs].EnqueueWrite(critReq) {
-			b.pool.Put(critReq)
+			b.critPool.Put(critReq)
 			return false
 		}
 	}
-	lineReq := b.pool.Get()
+	lineReq := b.linePool.Get()
 	lineReq.Addr = local
 	if !b.lineCtrl[ch].EnqueueWrite(lineReq) {
 		panic("core: line write enqueue failed after capacity check")
@@ -448,6 +465,68 @@ func (b *cwfBackend) IssueWriteback(lineAddr uint64) bool {
 func (b *cwfBackend) DegradeCrit() { b.critDead = true }
 
 func (b *cwfBackend) Groups() []ChannelGroup { return b.groups }
+
+// parallelizable reports whether the two controller domains can run on
+// separate event lanes. Requirements:
+//
+//   - no address/command bus shared *across* the domains — sharing a bus
+//     within one lane is fine (the lane serializes its channels), but a
+//     cross-lane bus would make Try* admission depend on the other
+//     lane's in-window progress;
+//   - every controller on the timing-directed tick path: a PerCycle
+//     controller ticks on phase-0 events each cycle, whose same-cycle
+//     ordering against the other domain's ticks the merge cannot pin.
+func (b *cwfBackend) parallelizable() bool {
+	lineBuses := make(map[*dram.CmdBus]bool, len(b.lineChan))
+	for _, ch := range b.lineChan {
+		lineBuses[ch.Cmd] = true
+	}
+	for _, ch := range b.critChan {
+		if lineBuses[ch.Cmd] {
+			return false
+		}
+	}
+	for _, c := range b.lineCtrl {
+		if c.Cfg.PerCycle {
+			return false
+		}
+	}
+	for _, c := range b.critCtrl {
+		if c.Cfg.PerCycle {
+			return false
+		}
+	}
+	return true
+}
+
+// laneLookahead is the minimum distance between an in-window controller
+// dispatch and the earliest event it can schedule outside its lane. The
+// only cross emissions are read-data deliveries: the completion at
+// DataEnd ≥ issue+TRL+Burst and the requested-word beat at ≥ issue+TRL+1
+// (firstBeat is strictly after DataStart). Writes emit nothing.
+func laneLookahead(chans []*dram.Channel) sim.Cycle {
+	lead := sim.Cycle(1 << 62)
+	for _, ch := range chans {
+		if t := ch.Cfg.Timing.TRL + 1; t < lead {
+			lead = t
+		}
+	}
+	return lead
+}
+
+// enableParallel moves the line controllers onto one event lane and the
+// crit controllers onto another. Call only when parallelizable() holds
+// and before any request has been enqueued.
+func (b *cwfBackend) enableParallel() {
+	b.lineLn = b.eng.NewLane(laneLookahead(b.lineChan))
+	b.critLn = b.eng.NewLane(laneLookahead(b.critChan))
+	for _, c := range b.lineCtrl {
+		c.SetLane(b.lineLn)
+	}
+	for _, c := range b.critCtrl {
+		c.SetLane(b.critLn)
+	}
+}
 
 // newPagePlaced builds the §7.1 comparison: channel 0 is a half-size
 // full-line RLDRAM3 channel holding the profiled hot pages; channels

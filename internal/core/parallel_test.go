@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hetsim/internal/faults"
+	"hetsim/internal/trace"
+)
+
+// Serial-vs-parallel differential: the same workload runs twice, once on
+// the single-threaded kernel and once with the crit and line controller
+// domains on separate event lanes, and everything observable — summary
+// results, the full fill trace, and the epoch JSONL stream — must be
+// byte-identical. Unlike the tick-skip differential, sim.events is NOT
+// excluded: the lane loop fires exactly the events the serial kernel
+// fires, so even the engine's own dispatch count must match at every
+// epoch boundary.
+
+// runParMode runs cfg/bench with or without lane parallelism and returns
+// the results, the fill trace, and the serialized epoch stream.
+func runParMode(t *testing.T, cfg SystemConfig, bench string, parallel bool) (Results, []trace.Record, []byte) {
+	t.Helper()
+	var recs []trace.Record
+	cfg.TraceFn = func(r trace.Record) { recs = append(recs, r) }
+	cfg.Parallel = parallel
+	sys, err := NewSystem(cfg, mustSpec(t, bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(RunScale{WarmupReads: 150, MeasureReads: 900,
+		MaxCycles: 20_000_000, EpochInterval: 20_000})
+	if parallel {
+		if cw, ok := sys.mem.(*cwfBackend); ok && cw.parallelizable() && sys.Eng.WindowsRun() == 0 {
+			t.Fatal("parallel run executed zero windows — the differential is vacuous")
+		}
+	}
+	var buf bytes.Buffer
+	if res.Epochs != nil {
+		if err := res.Epochs.WriteJSONL(&buf, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res.Epochs = nil // compared via the serialized stream
+	return res, recs, buf.Bytes()
+}
+
+func TestSystemParallelDifferential(t *testing.T) {
+	faulty := RL(2)
+	faulty.Faults.Crit.TransientBit = 0.05
+	faulty.Faults.Seed = 5
+	dimmDead := RL(2)
+	dimmDead.Faults.Schedule = []faults.Event{
+		{At: 40_000, Kind: faults.DIMMDead, Target: faults.Crit, Channel: -1, Chip: -1}}
+	privBus := RL(2)
+	privBus.PrivateCritCmdBus = true
+	cases := []struct {
+		name  string
+		cfg   SystemConfig
+		bench string
+		// eligible: the config must actually engage the lanes (a
+		// degraded run would make the comparison vacuous). Ineligible
+		// configs pin the silent serial fallback instead.
+		eligible bool
+	}{
+		{"baseline-ddr3-falls-back", Baseline(2), "libquantum", false},
+		{"rl-shared-crit-cmdbus", RL(2), "libquantum", true},
+		{"rl-private-crit-cmdbus", privBus, "libquantum", true},
+		{"rd-ddr3-lines", RD(2), "mcf", true},
+		{"dl-ddr3-crit-refresh", DL(2), "libquantum", true},
+		{"hmc-hetero", HMCHetero(2), "libquantum", true},
+		{"rl-crit-faults", faulty, "libquantum", true},
+		{"rl-dimm-dead", dimmDead, "libquantum", true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if cw, ok := func() (*cwfBackend, bool) {
+				sys, err := NewSystem(tc.cfg, mustSpec(t, tc.bench))
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, ok := sys.mem.(*cwfBackend)
+				return b, ok
+			}(); ok != tc.eligible || (ok && cw.parallelizable() != tc.eligible) {
+				t.Fatalf("eligibility mismatch: case declared eligible=%v", tc.eligible)
+			}
+			refRes, refRecs, refEpochs := runParMode(t, tc.cfg, tc.bench, false)
+			gotRes, gotRecs, gotEpochs := runParMode(t, tc.cfg, tc.bench, true)
+			if !reflect.DeepEqual(refRes, gotRes) {
+				t.Errorf("results diverged:\nserial   %+v\nparallel %+v", refRes, gotRes)
+			}
+			if len(refRecs) != len(gotRecs) {
+				t.Fatalf("trace length diverged: serial %d, parallel %d records",
+					len(refRecs), len(gotRecs))
+			}
+			for i := range refRecs {
+				if refRecs[i] != gotRecs[i] {
+					t.Fatalf("trace diverged at record %d:\nserial   %+v\nparallel %+v",
+						i, refRecs[i], gotRecs[i])
+				}
+			}
+			if !bytes.Equal(refEpochs, gotEpochs) {
+				refLines := bytes.Split(refEpochs, []byte("\n"))
+				gotLines := bytes.Split(gotEpochs, []byte("\n"))
+				for i := 0; i < len(refLines) && i < len(gotLines); i++ {
+					if !bytes.Equal(refLines[i], gotLines[i]) {
+						a, b := refLines[i], gotLines[i]
+						j := 0
+						for j < len(a) && j < len(b) && a[j] == b[j] {
+							j++
+						}
+						lo := j - 60
+						if lo < 0 {
+							lo = 0
+						}
+						t.Logf("epoch %d first divergence at byte %d:\nserial   …%s\nparallel …%s",
+							i, j, a[lo:min(j+80, len(a))], b[lo:min(j+80, len(b))])
+						break
+					}
+				}
+				t.Errorf("epoch streams diverged (%d vs %d bytes)", len(refEpochs), len(gotEpochs))
+			}
+		})
+	}
+}
+
+// TestParallelPerCycleFallsBack pins the eligibility rule that a
+// controller forced onto legacy per-cycle ticking disqualifies the
+// organization from lane execution.
+func TestParallelPerCycleFallsBack(t *testing.T) {
+	sys, err := NewSystem(RL(2), mustSpec(t, "libquantum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := sys.mem.(*cwfBackend)
+	if !cw.parallelizable() {
+		t.Fatal("RL should be lane-eligible")
+	}
+	cw.critCtrl[0].Cfg.PerCycle = true
+	if cw.parallelizable() {
+		t.Error("per-cycle controller did not disqualify lane execution")
+	}
+}
+
+// TestParallelRunTwice drives the same parallel system through two Runs:
+// the first Run's StopLanes must leave the engine in a state the second
+// Run can re-enable (lane events folded back, fresh lanes attached).
+func TestParallelRunTwice(t *testing.T) {
+	scale := RunScale{WarmupReads: 100, MeasureReads: 300, MaxCycles: 20_000_000}
+	run2 := func(parallel bool) (Results, Results) {
+		cfg := RL(2)
+		cfg.Parallel = parallel
+		sys, err := NewSystem(cfg, mustSpec(t, "libquantum"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Run(scale), sys.Run(scale)
+	}
+	sa, sb := run2(false)
+	pa, pb := run2(true)
+	if !reflect.DeepEqual(sa, pa) {
+		t.Errorf("first run diverged:\nserial   %+v\nparallel %+v", sa, pa)
+	}
+	if !reflect.DeepEqual(sb, pb) {
+		t.Errorf("second run diverged:\nserial   %+v\nparallel %+v", sb, pb)
+	}
+}

@@ -80,18 +80,12 @@ func (c Config) Validate() error {
 // progress until a memory response arrives.
 const WaitForever = sim.Cycle(1<<62 - 1)
 
-// robEntry is one in-flight instruction. Load-resolution state (what a
-// separate heap-allocated ticket used to track) lives inline: resolved
-// and readyAt record when the load's data becomes usable by dependents,
-// and gen disambiguates slot reuse for stale loadRef holders.
-type robEntry struct {
-	isLoad     bool
-	waitingMem bool      // load miss outstanding
-	completeAt sim.Cycle // valid when !waitingMem
-	resolved   bool      // load data availability known
-	readyAt    sim.Cycle // cycle the load's data is usable
-	gen        uint64    // bumped on every slot reuse
-}
+// ROB entry flag bits, one byte per slot in the robFlags column.
+const (
+	robLoad     uint8 = 1 << iota // the entry is a load
+	robWaiting                    // load miss outstanding
+	robResolved                   // load data availability known
+)
 
 // loadRef identifies a load by ROB slot and generation. A generation
 // mismatch means the referenced load has retired and its slot was
@@ -124,9 +118,21 @@ type Core struct {
 
 	trace Trace
 
-	rob   []robEntry
-	head  int
-	count int
+	// The ROB is stored as parallel arrays (SoA) indexed by slot. Every
+	// stepped cycle retire and dispatch walk the ring sequentially, so
+	// splitting the columns keeps those walks dense: one cache line of
+	// robComplete covers eight consecutive slots where the old 40-byte
+	// struct-per-entry layout spanned lines. robFlags holds the
+	// robLoad/robWaiting/robResolved bits; robComplete is when the entry
+	// finishes executing (valid while robWaiting is clear); robReady is
+	// when a load's data becomes usable by dependents; robGen is bumped
+	// on every slot reuse to disambiguate stale loadRef holders.
+	robFlags    []uint8
+	robComplete []sim.Cycle
+	robReady    []sim.Cycle
+	robGen      []uint64
+	head        int
+	count       int
 
 	pendingGap int
 	nextOp     MemOp
@@ -168,7 +174,11 @@ func New(id int, cfg Config, trace Trace, port Port) *Core {
 		panic(err)
 	}
 	c := &Core{ID: id, Cfg: cfg, Port: port, trace: trace,
-		rob: make([]robEntry, cfg.ROBSize), lastLoad: noLoad}
+		robFlags:    make([]uint8, cfg.ROBSize),
+		robComplete: make([]sim.Cycle, cfg.ROBSize),
+		robReady:    make([]sim.Cycle, cfg.ROBSize),
+		robGen:      make([]uint64, cfg.ROBSize),
+		lastLoad:    noLoad}
 	c.wakeFns = make([]func(), cfg.ROBSize)
 	for i := range c.wakeFns {
 		slot := i
@@ -182,11 +192,10 @@ func (c *Core) loadReady(ref loadRef, now sim.Cycle) bool {
 	if ref.slot < 0 {
 		return true
 	}
-	e := &c.rob[ref.slot]
-	if e.gen != ref.gen {
+	if c.robGen[ref.slot] != ref.gen {
 		return true // the load retired; its slot was recycled
 	}
-	return e.resolved && now >= e.readyAt
+	return c.robFlags[ref.slot]&robResolved != 0 && now >= c.robReady[ref.slot]
 }
 
 // loadResolved reports whether the referenced load's completion time is
@@ -195,8 +204,7 @@ func (c *Core) loadResolved(ref loadRef) bool {
 	if ref.slot < 0 {
 		return true
 	}
-	e := &c.rob[ref.slot]
-	return e.gen != ref.gen || e.resolved
+	return c.robGen[ref.slot] != ref.gen || c.robFlags[ref.slot]&robResolved != 0
 }
 
 // WakePending reports (and clears) whether a memory response arrived
@@ -211,19 +219,14 @@ func (c *Core) WakePending() bool {
 func (c *Core) HasWake() bool { return c.wakePending }
 
 // slotOf maps the i-th oldest ROB position to its slot index. A compare
-// instead of a modulo: i is always < len(rob), so one wrap suffices,
+// instead of a modulo: i is always < the ROB size, so one wrap suffices,
 // and integer division is too slow for a loop this hot.
 func (c *Core) slotOf(i int) int {
 	s := c.head + i
-	if s >= len(c.rob) {
-		s -= len(c.rob)
+	if s >= len(c.robFlags) {
+		s -= len(c.robFlags)
 	}
 	return s
-}
-
-// entryAt returns the i-th oldest ROB entry.
-func (c *Core) entryAt(i int) *robEntry {
-	return &c.rob[c.slotOf(i)]
 }
 
 // Step advances the core by one cycle at time now and returns the next
@@ -245,7 +248,7 @@ func (c *Core) Step(now sim.Cycle) sim.Cycle {
 	// including any mid-group dispatch alignment — is stepped exactly.
 	// ROBs narrower than Width retire fewer than Width per cycle and
 	// take the exact path.
-	if !c.exact && c.loadsInROB == 0 && c.count == len(c.rob) && len(c.rob) >= c.Cfg.Width &&
+	if !c.exact && c.loadsInROB == 0 && c.count == len(c.robFlags) && len(c.robFlags) >= c.Cfg.Width &&
 		c.pendingGap >= 3*c.Cfg.Width {
 		k := (c.pendingGap - 2*c.Cfg.Width) / c.Cfg.Width
 		c.pendingGap -= k * c.Cfg.Width
@@ -259,7 +262,7 @@ func (c *Core) Step(now sim.Cycle) sim.Cycle {
 	// is kept back to re-enter cycle-accurate mode smoothly. As above,
 	// a ROB narrower than Width caps throughput below Width per cycle,
 	// so it takes the exact path.
-	if !c.exact && c.count == 0 && len(c.rob) >= c.Cfg.Width &&
+	if !c.exact && c.count == 0 && len(c.robFlags) >= c.Cfg.Width &&
 		c.pendingGap > 2*c.Cfg.ROBSize {
 		// Only whole dispatch groups are skipped: rounding the burst up
 		// would charge a full cycle for a partial group that the real
@@ -277,15 +280,15 @@ func (c *Core) Step(now sim.Cycle) sim.Cycle {
 // retire commits up to Width completed instructions in order.
 func (c *Core) retire(now sim.Cycle) {
 	for n := 0; n < c.Cfg.Width && c.count > 0; n++ {
-		e := &c.rob[c.head]
-		if e.waitingMem || now < e.completeAt {
+		h := c.head
+		if c.robFlags[h]&robWaiting != 0 || now < c.robComplete[h] {
 			return
 		}
-		if e.isLoad {
+		if c.robFlags[h]&robLoad != 0 {
 			c.loadsInROB--
 		}
 		c.head++
-		if c.head == len(c.rob) {
+		if c.head == len(c.robFlags) {
 			c.head = 0
 		}
 		c.count--
@@ -296,7 +299,7 @@ func (c *Core) retire(now sim.Cycle) {
 // dispatch brings up to Width new instructions into the ROB.
 func (c *Core) dispatch(now sim.Cycle) {
 	for n := 0; n < c.Cfg.Width; n++ {
-		if c.count == len(c.rob) {
+		if c.count == len(c.robFlags) {
 			return
 		}
 		if c.pendingGap == 0 && !c.haveOp {
@@ -325,8 +328,10 @@ func (c *Core) dispatch(now sim.Cycle) {
 
 // pushPlain dispatches one ALU instruction (1-cycle execute).
 func (c *Core) pushPlain(now sim.Cycle) {
-	e := c.entryAt(c.count)
-	*e = robEntry{completeAt: now + 1, gen: e.gen + 1}
+	s := c.slotOf(c.count)
+	c.robFlags[s] = 0
+	c.robComplete[s] = now + 1
+	c.robGen[s]++
 	c.count++
 }
 
@@ -334,59 +339,61 @@ func (c *Core) pushPlain(now sim.Cycle) {
 // blocked it (retry next cycle).
 func (c *Core) issueMem(now sim.Cycle, op MemOp) bool {
 	slot := c.slotOf(c.count)
-	e := &c.rob[slot]
 	if op.Store {
 		status := c.Port.Access(c.ID, op.Addr, true, nil)
 		if status == AccessRetry {
 			return false
 		}
 		// Posted: the store buffer hides everything beyond dispatch.
-		*e = robEntry{completeAt: now + 1, gen: e.gen + 1}
+		c.robFlags[slot] = 0
+		c.robComplete[slot] = now + 1
+		c.robGen[slot]++
 		c.count++
 		c.Stat.Stores++
 		return true
 	}
 
-	*e = robEntry{isLoad: true, gen: e.gen + 1}
+	c.robFlags[slot] = robLoad
+	c.robComplete[slot] = 0
+	c.robGen[slot]++
 	status := c.Port.Access(c.ID, op.Addr, false, c.wakeFns[slot])
 	switch status {
 	case AccessRetry:
-		e.isLoad = false // entry not admitted; slot stays logically free
+		c.robFlags[slot] = 0 // entry not admitted; slot stays logically free
 		return false
 	case AccessL1Hit:
-		e.completeAt = now + c.Cfg.L1Latency
+		c.robComplete[slot] = now + c.Cfg.L1Latency
 	case AccessL2Hit:
-		e.completeAt = now + c.Cfg.L2Latency
+		c.robComplete[slot] = now + c.Cfg.L2Latency
 	case AccessMiss:
-		e.waitingMem = true
+		c.robFlags[slot] |= robWaiting
 		c.waitingMisses++
 		c.Stat.LoadMisses++
 	default:
 		panic(fmt.Sprintf("cpu: unknown access status %d", status))
 	}
-	if !e.waitingMem {
-		e.resolved = true
-		e.readyAt = e.completeAt
+	if c.robFlags[slot]&robWaiting == 0 {
+		c.robFlags[slot] |= robResolved
+		c.robReady[slot] = c.robComplete[slot]
 	}
 	c.count++
 	c.Stat.Loads++
 	c.loadsInROB++
-	c.lastLoad = loadRef{slot: int32(slot), gen: e.gen}
+	c.lastLoad = loadRef{slot: int32(slot), gen: c.robGen[slot]}
 	return true
 }
 
 // wakeSlot is invoked by the port when a missing load's word arrives.
 func (c *Core) wakeSlot(slot int) {
-	e := &c.rob[slot]
-	if !e.isLoad || !e.waitingMem {
+	f := c.robFlags[slot]
+	if f&robLoad == 0 || f&robWaiting == 0 {
 		// The entry was recycled (should not happen: entries stay in
 		// the ROB until retire, and retire requires completion).
 		panic("cpu: wake for a recycled ROB entry")
 	}
-	e.waitingMem = false
-	e.completeAt = 0 // data is here; retire eligibility is immediate
-	e.resolved = true
-	e.readyAt = 0
+	c.robFlags[slot] = (f &^ robWaiting) | robResolved
+	c.robComplete[slot] = 0 // data is here; retire eligibility is immediate
+	c.robReady[slot] = 0
 	c.waitingMisses--
 	c.wakePending = true
 	if c.WakeHook != nil {
@@ -406,8 +413,8 @@ func (c *Core) nextWake(now sim.Cycle) sim.Cycle {
 	// If the head is a pending miss and the ROB is full (or dispatch is
 	// dependency-blocked on an unresolved load), nothing changes until
 	// a wake.
-	headWaiting := c.rob[c.head].waitingMem
-	dispatchBlocked := c.count == len(c.rob) ||
+	headWaiting := c.robFlags[c.head]&robWaiting != 0
+	dispatchBlocked := c.count == len(c.robFlags) ||
 		(c.haveOp && c.pendingGap == 0 && c.nextOp.DepPrev && !c.loadResolved(c.lastLoad))
 	if headWaiting && dispatchBlocked {
 		// Any non-waiting entry behind the head still finishes on its

@@ -73,7 +73,12 @@ type Channel struct {
 	Cfg Config
 	Cmd *CmdBus
 
-	ranks []*rank
+	// ranks is a value slice, and every rank's banks are carved from the
+	// single bankArena allocation below, so the whole channel's timing
+	// state is one contiguous block: the issue loop's bank scans stride
+	// through adjacent cache lines instead of chasing per-rank pointers.
+	ranks     []rank
+	bankArena []bank
 
 	dataFreeAt    sim.Cycle
 	lastDataRank  int
@@ -93,8 +98,11 @@ func NewChannel(cfg Config, nRanks int, shared *CmdBus) *Channel {
 	}
 	shared.owners++
 	ch := &Channel{Cfg: cfg, Cmd: shared, lastDataRank: -1}
-	for i := 0; i < nRanks; i++ {
-		ch.ranks = append(ch.ranks, newRank(cfg.Geom, cfg.Timing.TREFI))
+	ch.ranks = make([]rank, nRanks)
+	ch.bankArena = make([]bank, nRanks*cfg.Geom.Banks)
+	for i := range ch.ranks {
+		banks := ch.bankArena[i*cfg.Geom.Banks : (i+1)*cfg.Geom.Banks : (i+1)*cfg.Geom.Banks]
+		ch.ranks[i].init(banks, cfg.Timing.TREFI)
 	}
 	return ch
 }
@@ -127,7 +135,7 @@ func (ch *Channel) claimData(start sim.Cycle, rk int, write bool) {
 	ch.lastDataRank = rk
 	ch.lastDataWrite = write
 	ch.Stat.DataBusy += ch.Cfg.Timing.Burst
-	r := ch.ranks[rk]
+	r := &ch.ranks[rk]
 	if ch.dataFreeAt > r.busyUntil {
 		r.busyUntil = ch.dataFreeAt
 	}
@@ -139,7 +147,7 @@ func (ch *Channel) claimData(start sim.Cycle, rk int, write bool) {
 // another row and must be precharged first).
 func (ch *Channel) TryActivate(t sim.Cycle, rk, bk int, row int64) (next sim.Cycle, ok bool) {
 	tm := &ch.Cfg.Timing
-	r := ch.ranks[rk]
+	r := &ch.ranks[rk]
 	b := &r.banks[bk]
 	next = maxc(t, r.awakeAt())
 	next = maxc(next, ch.Cmd.freeAt)
@@ -163,7 +171,7 @@ func (ch *Channel) TryActivate(t sim.Cycle, rk, bk int, row int64) (next sim.Cyc
 // TryPrecharge issues PRE to a bank; next follows the TryActivate
 // contract (Never = the bank is already precharged).
 func (ch *Channel) TryPrecharge(t sim.Cycle, rk, bk int) (next sim.Cycle, ok bool) {
-	r := ch.ranks[rk]
+	r := &ch.ranks[rk]
 	b := &r.banks[bk]
 	next = maxc(t, r.awakeAt())
 	next = maxc(next, ch.Cmd.freeAt)
@@ -186,7 +194,7 @@ func (ch *Channel) TryPrecharge(t sim.Cycle, rk, bk int) (next sim.Cycle, ok boo
 // precharge/activate sequence must run first).
 func (ch *Channel) TryCAS(t sim.Cycle, rk, bk int, row int64, kind AccessKind, autoPre bool) (dataStart sim.Cycle, ok bool) {
 	tm := &ch.Cfg.Timing
-	r := ch.ranks[rk]
+	r := &ch.ranks[rk]
 	b := &r.banks[bk]
 	write := kind == AccessWrite
 	lat := tm.TRL
@@ -249,7 +257,7 @@ func (ch *Channel) TryAccess(t sim.Cycle, rk, bk int, kind AccessKind) (dataStar
 		panic("dram: TryAccess on non-unified channel " + ch.Cfg.Kind.String())
 	}
 	tm := &ch.Cfg.Timing
-	r := ch.ranks[rk]
+	r := &ch.ranks[rk]
 	b := &r.banks[bk]
 	write := kind == AccessWrite
 	lat := tm.TRL
@@ -304,7 +312,7 @@ func (ch *Channel) NextRefreshDue(rk int) sim.Cycle {
 // blocked on open banks, which the caller must precharge first.
 func (ch *Channel) TryRefresh(t sim.Cycle, rk int) (next sim.Cycle, ok bool) {
 	tm := &ch.Cfg.Timing
-	r := ch.ranks[rk]
+	r := &ch.ranks[rk]
 	if tm.TREFI == 0 {
 		return Never, false
 	}
@@ -343,7 +351,7 @@ func (ch *Channel) PowerState(rk int) PowerState { return ch.ranks[rk].power }
 // self-refresh-class mode of §7.2). It reports whether the transition
 // happened; a rank with open rows or in-flight data refuses.
 func (ch *Channel) Sleep(t sim.Cycle, rk int, deep bool) bool {
-	r := ch.ranks[rk]
+	r := &ch.ranks[rk]
 	if r.power != PSActive || !r.allBanksIdle() || t < r.busyUntil || t < r.wakeAt {
 		return false
 	}
@@ -359,7 +367,7 @@ func (ch *Channel) Sleep(t sim.Cycle, rk int, deep bool) bool {
 // Wake begins power-down exit; commands become legal at the returned
 // cycle. Waking an awake rank is a no-op returning t.
 func (ch *Channel) Wake(t sim.Cycle, rk int) sim.Cycle {
-	r := ch.ranks[rk]
+	r := &ch.ranks[rk]
 	if r.power == PSActive {
 		if r.wakeAt > t {
 			return r.wakeAt
@@ -378,8 +386,8 @@ func (ch *Channel) Wake(t sim.Cycle, rk int) sim.Cycle {
 
 // Finalize flushes power-state residency accounting at end of run.
 func (ch *Channel) Finalize(t sim.Cycle) {
-	for _, r := range ch.ranks {
-		r.finalize(t)
+	for i := range ch.ranks {
+		ch.ranks[i].finalize(t)
 	}
 }
 

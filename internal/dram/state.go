@@ -80,8 +80,10 @@ type rank struct {
 	stateCycles [numPowerStates]sim.Cycle
 }
 
-func newRank(g Geometry, tREFI sim.Cycle) *rank {
-	r := &rank{banks: make([]bank, g.Banks)}
+// init prepares a zero rank in place. banks is this rank's slice of the
+// channel's shared bank arena (see Channel.bankArena).
+func (r *rank) init(banks []bank, tREFI sim.Cycle) {
+	r.banks = banks
 	for i := range r.banks {
 		r.banks[i].reset()
 	}
@@ -89,7 +91,6 @@ func newRank(g Geometry, tREFI sim.Cycle) *rank {
 		r.fawRing[i] = -1 << 60 // no activates in the window yet
 	}
 	r.refreshDueAt = tREFI // 0 tREFI means refresh never due (checked by caller)
-	return r
 }
 
 // awake reports whether commands may issue to this rank at time t.

@@ -41,6 +41,11 @@ type Options struct {
 	// back after (the -cache-dir flag). Determinism makes hits exact
 	// stand-ins for re-runs, so output is byte-identical either way.
 	Store *store.Store
+	// Parallel turns on lane-parallel execution for every run (the
+	// -parallel flag). Output is byte-identical, so it is excluded from
+	// both the memo key and the store key — cached serial results serve
+	// parallel sweeps and vice versa.
+	Parallel bool
 }
 
 // withDefaults normalizes options.
@@ -99,6 +104,9 @@ func (r *Runner) Workers() int { return r.pool.Workers() }
 func (r *Runner) Start(cfg core.SystemConfig, bench string) *runpool.Task[core.Results] {
 	cfg.NCores = r.Opts.NCores
 	cfg.Seed = r.Opts.Seed
+	if r.Opts.Parallel {
+		cfg.Parallel = true
+	}
 	if !cfg.Faults.Active() && r.Opts.Faults.Active() {
 		cfg.Faults = r.Opts.Faults
 	}

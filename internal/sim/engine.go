@@ -89,7 +89,24 @@ type Engine struct {
 	fired      uint64
 	lastPhase  uint64
 	dispatches int // >0 while inside an event handler
+
+	// Parallel lane execution (see lane.go). With no lanes the engine is
+	// the single-threaded kernel it always was; NewLane switches RunUntil
+	// onto the windowed parallel loop.
+	lanes      []*Lane
+	main       *Lane     // lazily built main-queue proxy handed to entities
+	mergeBuf   []pending // reused scratch for the window merge
+	parts      []*Lane   // reused scratch: the lanes joining a window
+	windows    uint64    // parallel windows run (diagnostics)
+	yieldArmed bool      // RequestYield is honored only while armed
+	yieldReq   bool      // a wake arrived; drain the cycle and return
 }
+
+// WindowsRun reports how many parallel windows have executed — a
+// diagnostic for tests and benchmarks to confirm lane execution actually
+// engaged (a lane-parallel run whose horizons never admit two ready
+// lanes degenerates to serial stepping).
+func (e *Engine) WindowsRun() uint64 { return e.windows }
 
 // Now reports the current simulated time.
 func (e *Engine) Now() Cycle { return e.now }
@@ -103,29 +120,25 @@ func (e *Engine) EventsFired() uint64 { return e.fired }
 // simulation loop.
 const heapArity = 4
 
-// push inserts ev, sifting up.
-func (e *Engine) push(ev event) {
-	e.pq = append(e.pq, ev)
-	i := len(e.pq) - 1
+// heapPush inserts ev into a (when, phase, seq)-ordered 4-ary heap,
+// sifting up. Shared by the engine's main queue and per-domain lanes.
+func heapPush(pq *[]event, ev event) {
+	q := append(*pq, ev)
+	i := len(q) - 1
 	for i > 0 {
 		parent := (i - 1) / heapArity
-		if !e.pq[i].before(&e.pq[parent]) {
+		if !q[i].before(&q[parent]) {
 			break
 		}
-		e.pq[i], e.pq[parent] = e.pq[parent], e.pq[i]
+		q[i], q[parent] = q[parent], q[i]
 		i = parent
 	}
+	*pq = q
 }
 
-// pop removes and returns the minimum event. The queue must be non-empty.
-func (e *Engine) pop() event {
-	top := e.pq[0]
-	n := len(e.pq) - 1
-	e.pq[0] = e.pq[n]
-	e.pq[n] = event{} // drop handler/arg references for the GC
-	e.pq = e.pq[:n]
-	// Sift down.
-	i := 0
+// heapSiftDown restores the heap property below index i.
+func heapSiftDown(q []event, i int) {
+	n := len(q)
 	for {
 		first := heapArity*i + 1
 		if first >= n {
@@ -137,18 +150,45 @@ func (e *Engine) pop() event {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if e.pq[c].before(&e.pq[min]) {
+			if q[c].before(&q[min]) {
 				min = c
 			}
 		}
-		if !e.pq[min].before(&e.pq[i]) {
+		if !q[min].before(&q[i]) {
 			break
 		}
-		e.pq[i], e.pq[min] = e.pq[min], e.pq[i]
+		q[i], q[min] = q[min], q[i]
 		i = min
 	}
+}
+
+// heapPop removes and returns the minimum event. The queue must be
+// non-empty.
+func heapPop(pq *[]event) event {
+	q := *pq
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // drop handler/arg references for the GC
+	q = q[:n]
+	heapSiftDown(q, 0)
+	*pq = q
 	return top
 }
+
+// heapInit builds the heap property over an arbitrarily ordered slice
+// (Floyd's method) — used after a lane filters its queue in place.
+func heapInit(q []event) {
+	for i := (len(q) - 2) / heapArity; i >= 0; i-- {
+		heapSiftDown(q, i)
+	}
+}
+
+// push inserts ev into the main queue.
+func (e *Engine) push(ev event) { heapPush(&e.pq, ev) }
+
+// pop removes and returns the minimum main-queue event.
+func (e *Engine) pop() event { return heapPop(&e.pq) }
 
 // Schedule runs fn after delay cycles. A delay of zero runs fn during the
 // current cycle, after all previously scheduled work for this cycle.
@@ -224,18 +264,40 @@ func (e *Engine) SchedulePhasedAt(when Cycle, phase uint64, h PhasedHandler, arg
 // on this instead of threading context flags through every caller.
 func (e *Engine) InDispatch() bool { return e.dispatches > 0 }
 
-// Pending reports whether any events remain.
-func (e *Engine) Pending() bool { return len(e.pq) > 0 }
-
-// Len reports the number of queued events (diagnostics).
-func (e *Engine) Len() int { return len(e.pq) }
-
-// PeekNext returns the time of the next event; ok is false if none remain.
-func (e *Engine) PeekNext() (when Cycle, ok bool) {
-	if len(e.pq) == 0 {
-		return 0, false
+// Pending reports whether any events remain (across all lanes).
+func (e *Engine) Pending() bool {
+	if len(e.pq) > 0 {
+		return true
 	}
-	return e.pq[0].when, true
+	for _, l := range e.lanes {
+		if len(l.pq) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Len reports the number of queued events across all lanes (diagnostics).
+func (e *Engine) Len() int {
+	n := len(e.pq)
+	for _, l := range e.lanes {
+		n += len(l.pq)
+	}
+	return n
+}
+
+// PeekNext returns the time of the next event across all lanes; ok is
+// false if none remain.
+func (e *Engine) PeekNext() (when Cycle, ok bool) {
+	if len(e.pq) > 0 {
+		when, ok = e.pq[0].when, true
+	}
+	for _, l := range e.lanes {
+		if len(l.pq) > 0 && (!ok || l.pq[0].when < when) {
+			when, ok = l.pq[0].when, true
+		}
+	}
+	return when, ok
 }
 
 // sameCycleEventLimit is the no-progress watchdog threshold: this many
@@ -250,6 +312,9 @@ const sameCycleEventLimit = 1 << 20
 // event lies strictly beyond end. The clock finishes at min(end, last
 // event time ≥ now). It returns the number of events executed.
 func (e *Engine) RunUntil(end Cycle) uint64 {
+	if len(e.lanes) > 0 {
+		return e.runParallel(end)
+	}
 	var n uint64
 	var burst int
 	for len(e.pq) > 0 && e.pq[0].when <= end {

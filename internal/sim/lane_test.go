@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// The lane differential below drives a synthetic two-domain model
+// through both kernels and requires identical dispatch traces. Each
+// domain is a self-rescheduling controller that emits cross-domain
+// events to a main-context sink, arms maintenance barriers mid-window
+// (exercising the shrink/sweep path), and draws every decision from a
+// private xorshift stream — so the streams advance identically exactly
+// when the per-lane dispatch order is identical, which is the contract
+// under test.
+//
+// Domains schedule their self events on disjoint cycle residues
+// (node i only dispatches at cycles ≡ i mod N). That mirrors the
+// documented model contract: phase-0 generators in different lanes
+// never collide on the full chronology key, so the merge's lane-id
+// tie-break is never load-bearing.
+
+type laneRec struct {
+	at  Cycle
+	tag uint64
+}
+
+// mainSink collects main-context dispatches (cross emissions and
+// barrier deadlines). Only main-context handlers append, in both
+// modes, so it needs no locking.
+type mainSink struct {
+	eng   *Engine
+	trace []laneRec
+}
+
+func (s *mainSink) OnEvent(arg any) {
+	s.trace = append(s.trace, laneRec{s.eng.Now(), arg.(uint64)})
+}
+
+// barrierEvt dispatches a maintenance deadline on main context:
+// record it and clear the lane's barrier slot so horizons can advance.
+type barrierEvt struct{ n *laneNode }
+
+func (b *barrierEvt) OnEvent(arg any) {
+	b.n.ln.ClearBarrier(b.n.slot)
+	b.n.sink.trace = append(b.n.sink.trace, laneRec{b.n.sink.eng.Now(), arg.(uint64)})
+}
+
+type laneNode struct {
+	ln      *Lane
+	id      int
+	nNodes  int
+	slot    int
+	minLead Cycle
+	rng     uint64
+	left    int
+	trace   []laneRec // lane-confined: appended only by this domain's dispatches
+	sink    *mainSink
+	bev     *barrierEvt
+}
+
+func (n *laneNode) next() uint64 {
+	n.rng ^= n.rng << 13
+	n.rng ^= n.rng >> 7
+	n.rng ^= n.rng << 17
+	return n.rng
+}
+
+func (n *laneNode) OnEvent(arg any) {
+	now := n.ln.Now()
+	n.trace = append(n.trace, laneRec{now, arg.(uint64)})
+	if n.left == 0 {
+		return
+	}
+	n.left--
+	r := n.next()
+	// Self-reschedule on this domain's cycle residue: strides are
+	// multiples of N, short enough to land inside the current window
+	// and long enough to defer past the horizon, depending on r.
+	stride := Cycle(n.nNodes) * Cycle(1+(r>>3)%4)
+	n.ln.ScheduleEventAt(now+stride, n, r)
+	switch r % 4 {
+	case 0:
+		// Cross-domain emission. now+minLead ≥ the window limit by the
+		// lookahead invariant, so this is always legal.
+		n.ln.ScheduleMainEventAt(now+n.minLead+Cycle(r%5), n.sink, r^0xa5)
+	case 1:
+		// Maintenance barrier in the strict future; scheduled
+		// mid-window it shrinks the running window and sweeps any
+		// already-pushed events past the new limit back to the merge.
+		n.ln.ScheduleBarrierEventAt(now+2+Cycle(r%9), n.bev, r^0x5a, n.slot)
+	}
+}
+
+func (n *laneNode) OnPhasedEvent(arg any, phase uint64) { n.OnEvent(arg) }
+
+func runLaneModel(seed uint64, parallel bool, nNodes int) (*Engine, []*laneNode, *mainSink) {
+	var e Engine
+	sink := &mainSink{eng: &e}
+	nodes := make([]*laneNode, nNodes)
+	for i := range nodes {
+		n := &laneNode{
+			id:      i,
+			nNodes:  nNodes,
+			minLead: 4,
+			rng:     (seed+uint64(i)*0x9e3779b97f4a7c15)*2 + 1,
+			left:    250,
+			sink:    sink,
+		}
+		n.bev = &barrierEvt{n: n}
+		if parallel {
+			n.ln = e.NewLane(n.minLead)
+		} else {
+			n.ln = e.MainLane()
+		}
+		n.slot = n.ln.AddBarrierSlot()
+		nodes[i] = n
+		// Seed one plain and one phased self event, residue-aligned.
+		n.ln.ScheduleEventAt(Cycle(nNodes+i), n, n.next())
+		ph := n.ln.NewPhase()
+		n.ln.SchedulePhasedAt(Cycle(3*nNodes+i), ph, n, n.next())
+	}
+	e.RunUntil(100000)
+	if parallel {
+		e.StopLanes()
+	}
+	return &e, nodes, sink
+}
+
+func diffTraces(t *testing.T, name string, serial, par []laneRec) {
+	t.Helper()
+	if len(serial) != len(par) {
+		t.Fatalf("%s: serial fired %d dispatches, parallel %d", name, len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("%s: dispatch %d diverges: serial %+v, parallel %+v", name, i, serial[i], par[i])
+		}
+	}
+}
+
+// TestLaneDifferential pins the kernel determinism contract directly:
+// the same model on goroutine lanes produces the identical per-domain
+// dispatch restriction and the identical main-queue order as the
+// serial kernel, over several seeds.
+func TestLaneDifferential(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 0xdeadbeef} {
+		se, sn, ss := runLaneModel(seed, false, 2)
+		pe, pn, ps := runLaneModel(seed, true, 2)
+		if pe.WindowsRun() == 0 {
+			t.Fatalf("seed %#x: parallel run opened no windows — differential is vacuous", seed)
+		}
+		for i := range sn {
+			diffTraces(t, "domain", sn[i].trace, pn[i].trace)
+		}
+		diffTraces(t, "main", ss.trace, ps.trace)
+		if se.EventsFired() != pe.EventsFired() {
+			t.Fatalf("seed %#x: serial fired %d events, parallel %d", seed, se.EventsFired(), pe.EventsFired())
+		}
+		if se.Now() != pe.Now() {
+			t.Fatalf("seed %#x: clocks diverge: serial %d, parallel %d", seed, se.Now(), pe.Now())
+		}
+	}
+}
+
+// TestLaneSingleSerialSteps: one lane can never open a window (a
+// window needs at least two ready lanes), so the engine must
+// serial-step every event and still match the serial kernel.
+func TestLaneSingleSerialSteps(t *testing.T) {
+	se, sn, ss := runLaneModel(7, false, 1)
+	pe, pn, ps := runLaneModel(7, true, 1)
+	if pe.WindowsRun() != 0 {
+		t.Fatalf("single lane opened %d windows, want 0", pe.WindowsRun())
+	}
+	diffTraces(t, "domain", sn[0].trace, pn[0].trace)
+	diffTraces(t, "main", ss.trace, ps.trace)
+	if se.EventsFired() != pe.EventsFired() {
+		t.Fatalf("serial fired %d events, parallel %d", se.EventsFired(), pe.EventsFired())
+	}
+}
+
+type noopEvt struct{}
+
+func (noopEvt) OnEvent(arg any) {}
+
+// violator schedules a cross emission below the window horizon,
+// breaking the lookahead its lane promised.
+type violator struct{ ln *Lane }
+
+func (v *violator) OnEvent(arg any) {
+	v.ln.ScheduleMainEventAt(v.ln.Now()+1, noopEvt{}, nil)
+}
+
+func expectLanePanic(t *testing.T, want string, build func(e *Engine)) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v, want message containing %q", r, want)
+		}
+	}()
+	var e Engine
+	build(&e)
+	e.RunUntil(1000)
+}
+
+// TestLaneLookaheadViolationPanics: an in-window cross emission below
+// the horizon is a model bug; the worker's panic must propagate to the
+// caller with the lane and cycles named.
+func TestLaneLookaheadViolationPanics(t *testing.T) {
+	expectLanePanic(t, "lookahead violation", func(e *Engine) {
+		la, lb := e.NewLane(8), e.NewLane(8)
+		la.ScheduleEventAt(5, &violator{ln: la}, nil)
+		lb.ScheduleEventAt(5, noopEvt{}, nil) // second ready lane so a window opens
+	})
+}
+
+type phaseGrabber struct{ ln *Lane }
+
+func (p *phaseGrabber) OnEvent(arg any) { p.ln.NewPhase() }
+
+// TestLaneNewPhaseInWindowPanics: phases are global ordering state and
+// may only be allocated from main context.
+func TestLaneNewPhaseInWindowPanics(t *testing.T) {
+	expectLanePanic(t, "NewPhase inside a lane window", func(e *Engine) {
+		la, lb := e.NewLane(8), e.NewLane(8)
+		la.ScheduleEventAt(5, &phaseGrabber{ln: la}, nil)
+		lb.ScheduleEventAt(5, noopEvt{}, nil)
+	})
+}
+
+// orderEvt appends its tag when dispatched on the serial kernel.
+type orderEvt struct{ got *[]int }
+
+func (o *orderEvt) OnEvent(arg any) { *o.got = append(*o.got, arg.(int)) }
+
+// TestStopLanesFoldsQueuedEvents: events still queued on lanes when
+// StopLanes runs carry globally ordered sequence numbers (they were
+// scheduled from main context), so the reverted serial kernel must
+// fire them in exactly the order they were scheduled.
+func TestStopLanesFoldsQueuedEvents(t *testing.T) {
+	var e Engine
+	var got []int
+	h := &orderEvt{got: &got}
+	la, lb := e.NewLane(4), e.NewLane(4)
+	la.ScheduleEventAt(10, h, 1)
+	lb.ScheduleEventAt(10, h, 2) // same cycle: global seq breaks the tie
+	lb.ScheduleEventAt(7, h, 0)
+	la.ScheduleEventAt(12, h, 3)
+	e.StopLanes()
+	if len(e.lanes) != 0 {
+		t.Fatalf("StopLanes left %d lanes registered", len(e.lanes))
+	}
+	e.RunUntil(100)
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}

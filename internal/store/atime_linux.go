@@ -1,0 +1,18 @@
+//go:build linux
+
+package store
+
+import (
+	"io/fs"
+	"syscall"
+)
+
+// atime reads the access time (unix nanoseconds) the eviction sweep
+// orders entries by. Get bumps it explicitly (see touch), so the value
+// tracks cache usage even under noatime mounts.
+func atime(fi fs.FileInfo) int64 {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return st.Atim.Sec*1e9 + st.Atim.Nsec
+	}
+	return fi.ModTime().UnixNano()
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package store
+
+import "io/fs"
+
+// atime falls back to the modification time on platforms where the
+// stat access time is not portably reachable. touch bumps both, so
+// LRU ordering still tracks cache hits.
+func atime(fi fs.FileInfo) int64 {
+	return fi.ModTime().UnixNano()
+}

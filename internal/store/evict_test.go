@@ -1,0 +1,132 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// backdate pushes an entry's access (and modification) time into the
+// past so eviction order is controlled by the test, not by how fast
+// the Puts executed.
+func backdate(t *testing.T, s *Store, k RunKey, age time.Duration) {
+	t.Helper()
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(s.objectPath(k.Hash()), when, when); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// entrySize measures one installed entry, so cap choices below adapt
+// to codec changes instead of hard-coding byte counts.
+func entrySize(t *testing.T, s *Store, k RunKey) int64 {
+	t.Helper()
+	fi, err := os.Stat(s.objectPath(k.Hash()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+func TestEvictionLRU(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]RunKey, 4)
+	for i := range keys {
+		keys[i] = testKey("evict", uint64(i))
+		if err := s.Put(keys[i], testResults("evict")); err != nil {
+			t.Fatal(err)
+		}
+		// Oldest first: keys[0] is the least recently used.
+		backdate(t, s, keys[i], time.Duration(len(keys)-i)*time.Hour)
+	}
+	size := entrySize(t, s, keys[0])
+
+	// A hit on keys[0] must refresh it past keys[1..3] in LRU order.
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("warm get missed")
+	}
+
+	// Cap at two entries: the sweep must evict keys[1] and keys[2] (the
+	// stalest remaining) and keep keys[3] and the freshly-touched keys[0].
+	s.SetMaxBytes(2 * size)
+	st := s.Stats()
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.EvictedBytes != uint64(2*size) {
+		t.Fatalf("evicted bytes = %d, want %d", st.EvictedBytes, 2*size)
+	}
+	for i, want := range []bool{true, false, false, true} {
+		_, ok := s.Get(keys[i])
+		if ok != want {
+			t.Errorf("after sweep, Get(keys[%d]) ok = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+// TestEvictionOnPut pins the steady-state path: with a cap installed,
+// a Put that pushes the tree past the limit sweeps immediately.
+func TestEvictionOnPut(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := testKey("evict-put", 1)
+	if err := s.Put(old, testResults("evict-put")); err != nil {
+		t.Fatal(err)
+	}
+	backdate(t, s, old, time.Hour)
+	size := entrySize(t, s, old)
+	s.SetMaxBytes(2 * size)
+
+	mid := testKey("evict-put", 2)
+	if err := s.Put(mid, testResults("evict-put")); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Evictions != 0 {
+		t.Fatalf("premature eviction: %d", st.Evictions)
+	}
+	backdate(t, s, mid, 30*time.Minute)
+
+	// Third entry exceeds the two-entry cap: the oldest must go.
+	fresh := testKey("evict-put", 3)
+	if err := s.Put(fresh, testResults("evict-put")); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if _, ok := s.Get(old); ok {
+		t.Error("stalest entry survived the Put sweep")
+	}
+	if _, ok := s.Get(mid); !ok {
+		t.Error("mid entry was evicted; sweep is not LRU-ordered")
+	}
+	if _, ok := s.Get(fresh); !ok {
+		t.Error("freshly-put entry was evicted")
+	}
+}
+
+// TestEvictionUncapped pins that an uncapped store never sweeps.
+func TestEvictionUncapped(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Put(testKey("uncapped", uint64(i)), testResults("uncapped")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 0 {
+		t.Fatalf("uncapped store evicted %d entries", st.Evictions)
+	}
+	ents, err := os.ReadDir(filepath.Join(s.Dir(), "objects"))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("objects tree missing after puts: %v", err)
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"time"
 
 	"hetsim/internal/core"
 )
@@ -23,6 +25,13 @@ type Store struct {
 
 	mu    sync.Mutex
 	stats Stats
+
+	// maxBytes caps the total size of the objects tree (0 = unlimited).
+	// liveBytes is the total measured by the last sweep plus bytes
+	// written since; when it crosses the cap, Put triggers an
+	// LRU-by-atime eviction sweep. Both are guarded by mu.
+	maxBytes  int64
+	liveBytes int64
 }
 
 // Stats counts store activity since Open.
@@ -38,6 +47,10 @@ type Stats struct {
 	Corrupt uint64
 	// Writes is the number of entries installed by Put.
 	Writes uint64
+	// Evictions counts entries removed by the size-cap sweep, and
+	// EvictedBytes the space they released.
+	Evictions    uint64
+	EvictedBytes uint64
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
@@ -53,6 +66,22 @@ func Open(dir string) (*Store, error) {
 
 // Dir reports the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetMaxBytes caps the objects tree at n bytes (0 removes the cap) and
+// sweeps immediately, so a long-lived cache directory is trimmed at
+// startup before any new entries land. While capped, every Put that
+// pushes the tree past the limit re-sweeps: entries are evicted in
+// least-recently-accessed order (see atime) until the tree fits. The
+// cap is advisory across processes — each process enforces it against
+// its own view of the tree, refreshed at every sweep.
+func (s *Store) SetMaxBytes(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxBytes = n
+	if n > 0 {
+		s.sweepLocked()
+	}
+}
 
 // objectPath maps a key hash to its entry file, fanned out over a
 // two-hex-digit directory level so huge sweeps don't pile every entry
@@ -80,6 +109,7 @@ func (s *Store) Get(k RunKey) (core.Results, bool) {
 		return core.Results{}, false
 	}
 	s.count(func(st *Stats) { st.Hits++ })
+	touch(s.objectPath(k.Hash()))
 	return res, true
 }
 
@@ -115,7 +145,87 @@ func (s *Store) Put(k RunKey, res core.Results) error {
 	}
 	s.count(func(st *Stats) { st.Writes++ })
 	s.appendIndex(k, res)
+	s.mu.Lock()
+	s.liveBytes += int64(len(b))
+	if s.maxBytes > 0 && s.liveBytes > s.maxBytes {
+		s.sweepLocked()
+	}
+	s.mu.Unlock()
 	return nil
+}
+
+// sweepLocked re-measures the objects tree and, if it exceeds maxBytes,
+// deletes entries in ascending access-time order until it fits. Ties
+// break on path so two sweeps of the same tree delete the same files.
+// Concurrent processes may race the removals; losing such a race (the
+// file is already gone) is indistinguishable from winning it. Callers
+// hold s.mu.
+func (s *Store) sweepLocked() {
+	type entry struct {
+		path string
+		size int64
+		at   int64 // access time, unix nanoseconds
+	}
+	var ents []entry
+	var total int64
+	root := filepath.Join(s.dir, "objects")
+	fans, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	for _, fan := range fans {
+		if !fan.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, fan.Name()))
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if filepath.Ext(f.Name()) != ".run" {
+				continue
+			}
+			fi, err := f.Info()
+			if err != nil {
+				continue
+			}
+			ents = append(ents, entry{
+				path: filepath.Join(root, fan.Name(), f.Name()),
+				size: fi.Size(),
+				at:   atime(fi),
+			})
+			total += fi.Size()
+		}
+	}
+	s.liveBytes = total
+	if s.maxBytes <= 0 || total <= s.maxBytes {
+		return
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].at != ents[j].at {
+			return ents[i].at < ents[j].at
+		}
+		return ents[i].path < ents[j].path
+	})
+	for _, e := range ents {
+		if s.liveBytes <= s.maxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err != nil && !os.IsNotExist(err) {
+			continue
+		}
+		s.liveBytes -= e.size
+		s.stats.Evictions++
+		s.stats.EvictedBytes += uint64(e.size)
+	}
+}
+
+// touch bumps an entry's access time after a hit, so LRU eviction sees
+// cache usage even on filesystems mounted noatime/relatime. Failures
+// are swallowed: a missed touch only ages the entry early.
+func touch(path string) {
+	now := time.Now()
+	os.Chtimes(path, now, now)
 }
 
 // Stats snapshots the counters.
