@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz faults bench bench-json bench-parallel bench-controller bench-telemetry bench-store sweepd profile profile-parallel verify
+.PHONY: build vet test race fuzz faults bench bench-json bench-parallel bench-controller bench-telemetry bench-store sweepd chaos profile profile-parallel verify
 
 build:
 	$(GO) build ./...
@@ -81,6 +81,15 @@ bench-telemetry:
 bench-store:
 	$(GO) test -bench 'BenchmarkStore' -benchmem -run '^$$' ./internal/store/ \
 		| $(GO) run ./cmd/benchjson > BENCH_store.json
+
+# Robustness smoke: the lease protocol, the chaos-store convergence
+# suite, the crash-simulation store tests, and the multi-worker /
+# SIGKILL / drain integration tests, all under the race detector.
+chaos:
+	$(GO) test -race -count=1 ./internal/lease/ ./internal/chaos/
+	$(GO) test -race -count=1 ./internal/store/ -run 'TestPutFsync|TestCrashSim|TestDegraded|TestReadOnly'
+	$(GO) test -race -count=1 ./internal/exp/ -run 'TestChaoticStore|TestCellTimeout|TestContextCancel|TestGenerousDeadline'
+	$(GO) test -race -count=1 ./cmd/sweepd/ -run 'TestSweepdTwoWorkers|TestSweepdWorkerSIGKILL|TestSweepdChaotic|TestSweepdPoisoned|TestSweepdHealth|TestSweepdDrainDeadline'
 
 # Run the sweep job server on the default local address with a durable
 # cache + state directory in the working tree.

@@ -81,6 +81,7 @@ func main() {
 	scale.EpochInterval = sim.Cycle(*epochInterval)
 	opts := exp.Options{Scale: scale, NCores: *cores, Seed: *seed,
 		Workers: *workers, Parallel: *parallel}
+	var cache *store.Store
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir)
 		if err != nil {
@@ -89,6 +90,7 @@ func main() {
 		}
 		st.SetMaxBytes(*cacheMax)
 		opts.Store = st
+		cache = st
 	}
 	if *faultSpec != "" {
 		fc, err := hetsim.ParseFaults(*faultSpec)
@@ -358,8 +360,8 @@ func main() {
 		}
 	}
 
-	if opts.Store != nil {
-		cs := opts.Store.Stats()
+	if cache != nil {
+		cs := cache.Stats()
 		fmt.Fprintf(os.Stderr, "experiments: cache %s: %d hits, %d misses, %d writes, %d corrupt\n",
 			*cacheDir, cs.Hits, cs.Misses, cs.Writes, cs.Corrupt)
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/csv"
 	"encoding/hex"
@@ -9,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -16,9 +18,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hetsim"
 	"hetsim/internal/grid"
+	"hetsim/internal/lease"
 	"hetsim/internal/runpool"
 	"hetsim/internal/sim"
 	"hetsim/internal/store"
@@ -81,7 +85,7 @@ type cell struct {
 	key   store.RunKey
 
 	mu     sync.Mutex
-	state  string // "pending" | "done" | "failed"
+	state  string // "pending" | "done" | "failed" | "poisoned"
 	errMsg string
 	header []string
 	row    []string
@@ -97,18 +101,22 @@ type job struct {
 	cond     *sync.Cond
 	done     int
 	failed   int
+	poisoned int
 	epochLog []byte // accumulated per-epoch JSONL, appended per finished cell
 }
 
-func (j *job) finished() bool { return j.done+j.failed == len(j.Cells) }
+func (j *job) finished() bool { return j.done+j.failed+j.poisoned == len(j.Cells) }
 
 // Options configures a Server.
 type Options struct {
-	// CacheDir roots the durable result store. Required: the store is
-	// both the run cache and the server's completed-cell checkpoint.
+	// CacheDir roots the durable result store and the shared leases/
+	// subdirectory workers coordinate through. Required even when Cache
+	// is injected: the lease directory is what N workers pointing at the
+	// same CacheDir use to divide a sweep with no coordinator.
 	CacheDir string
 	// StateDir holds one spec file per accepted job; NewServer re-reads
-	// it so a restarted server resumes every known sweep.
+	// it so a restarted server resumes every known sweep, and the Poll
+	// loop re-reads it so a worker picks up jobs submitted to a peer.
 	StateDir string
 	// CacheMaxBytes caps the store's objects tree; past it the store
 	// evicts least-recently-used entries (0 = unlimited).
@@ -117,19 +125,53 @@ type Options struct {
 	Workers int
 	// Log receives operational messages (nil = discard).
 	Log io.Writer
+
+	// Cache overrides the durable tier (nil = open CacheDir). The seam
+	// exists for the chaos harness: tests wrap the real store in a
+	// fault injector and hand it to an otherwise unmodified server.
+	Cache store.Interface
+	// Owner is this worker's lease identity; it must be unique among
+	// live processes sharing CacheDir ("" = hostname-pid).
+	Owner string
+	// LeaseTTL is how long a worker may go silent before its cells are
+	// reclaimed by peers (0 = 10s). Heartbeats renew at TTL/3.
+	LeaseTTL time.Duration
+	// CellTimeout bounds each simulation run; a cell that exceeds it is
+	// truncated, counted as a failed attempt, and retried (0 = none).
+	CellTimeout time.Duration
+	// CellAttempts is the per-cell run budget: a cell whose run errors
+	// this many times is marked poisoned and never retried (0 = 3).
+	CellAttempts int
+	// Poll, when positive, rescans StateDir on this interval so jobs
+	// checkpointed by other workers are discovered and joined.
+	Poll time.Duration
+
+	// HoldCellForTest makes every leased cell sleep this long between
+	// acquiring its lease and running, so crash tests can SIGKILL a
+	// worker that is deterministically mid-cell. Test hook; zero in
+	// production.
+	HoldCellForTest time.Duration
 }
 
 // Server shards sweep cells across a runpool, with the durable store
-// as a second memo tier. Identical cells — within one job or across
-// jobs — are simulated at most once per server lifetime, and at most
-// once ever while the store directory survives.
+// as a second memo tier and per-cell leases as the cross-process
+// arbiter. Identical cells — within one job, across jobs, or across N
+// worker processes sharing one store — are simulated once per failure,
+// and at most once ever while the store directory survives.
 type Server struct {
-	opts  Options
-	cache *store.Store
-	pool  *runpool.Pool[string, hetsim.Results]
+	opts   Options
+	cache  store.Interface
+	disk   *store.Store // nil when Cache was injected and is not a *store.Store
+	leases *lease.Manager
+	pool   *runpool.Pool[string, hetsim.Results]
 
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	closed    atomic.Bool
+	aborting  atomic.Bool // drain deadline passed: truncate in-flight runs
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	wg        sync.WaitGroup
+
+	degradedWarn sync.Once
 
 	// executed counts cells that actually ran the simulator; restored
 	// counts cells served from the durable store. After a kill/restart
@@ -142,78 +184,169 @@ type Server struct {
 	jobs map[string]*job
 }
 
-var errClosed = errors.New("sweepd: server is shutting down")
+var (
+	errClosed   = errors.New("sweepd: server is shutting down")
+	errPoisoned = errors.New("sweepd: cell poisoned (retry budget exhausted)")
+)
 
-// NewServer opens the store, loads every checkpointed job from the
-// state directory, and re-enqueues their cells. Cells whose results
-// already sit in the store complete without running the simulator.
+// NewServer opens the store and lease directory, loads every
+// checkpointed job from the state directory, and re-enqueues their
+// cells. Cells whose results already sit in the store complete without
+// running the simulator.
 func NewServer(opts Options) (*Server, error) {
-	cache, err := store.Open(opts.CacheDir)
+	if opts.Log == nil {
+		opts.Log = io.Discard
+	}
+	if opts.Owner == "" {
+		opts.Owner = lease.DefaultOwner()
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 10 * time.Second
+	}
+	if opts.CellAttempts <= 0 {
+		opts.CellAttempts = 3
+	}
+	cache := opts.Cache
+	var disk *store.Store
+	if cache == nil {
+		var err error
+		disk, err = store.Open(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		disk.SetMaxBytes(opts.CacheMaxBytes)
+		cache = disk
+	} else if ds, ok := cache.(*store.Store); ok {
+		disk = ds
+	}
+	leases, err := lease.NewManager(filepath.Join(opts.CacheDir, "leases"), opts.Owner, opts.LeaseTTL)
 	if err != nil {
 		return nil, err
 	}
-	cache.SetMaxBytes(opts.CacheMaxBytes)
 	if opts.StateDir == "" {
 		return nil, fmt.Errorf("sweepd: empty state directory")
 	}
 	if err := os.MkdirAll(filepath.Join(opts.StateDir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("sweepd: %w", err)
 	}
-	if opts.Log == nil {
-		opts.Log = io.Discard
-	}
 	s := &Server{
-		opts:  opts,
-		cache: cache,
-		pool:  runpool.New[string, hetsim.Results](opts.Workers),
-		jobs:  map[string]*job{},
+		opts:    opts,
+		cache:   cache,
+		disk:    disk,
+		leases:  leases,
+		pool:    runpool.New[string, hetsim.Results](opts.Workers),
+		drainCh: make(chan struct{}),
+		jobs:    map[string]*job{},
 	}
-	if err := s.resume(); err != nil {
+	if err := s.scanJobs("resumed"); err != nil {
 		return nil, err
+	}
+	if opts.Poll > 0 {
+		s.wg.Add(1)
+		go s.pollLoop()
 	}
 	return s, nil
 }
 
-// resume re-enqueues every job whose spec file survived a previous
-// process. The store decides which cells still need simulating.
-func (s *Server) resume() error {
+// Owner reports this server's lease identity.
+func (s *Server) Owner() string { return s.leases.Owner() }
+
+// scanJobs submits every job whose spec file sits in the state
+// directory, skipping ones already known. It is both startup resume
+// and the poll loop's rescan: a job POSTed to any worker sharing the
+// state directory is checkpointed before it is enqueued, so every
+// peer's next scan joins it. The store decides which cells still need
+// simulating.
+func (s *Server) scanJobs(verb string) error {
 	dir := filepath.Join(s.opts.StateDir, "jobs")
 	names, err := os.ReadDir(dir)
 	if err != nil {
 		return fmt.Errorf("sweepd: %w", err)
 	}
-	// Deterministic resume order (ReadDir sorts, but be explicit).
+	// Deterministic scan order (ReadDir sorts, but be explicit).
 	sort.Slice(names, func(i, k int) bool { return names[i].Name() < names[k].Name() })
 	for _, de := range names {
-		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		b, err := os.ReadFile(filepath.Join(dir, de.Name()))
+		s.mu.Lock()
+		_, known := s.jobs[strings.TrimSuffix(name, ".json")]
+		s.mu.Unlock()
+		if known {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			fmt.Fprintf(s.opts.Log, "sweepd: skipping %s: %v\n", de.Name(), err)
+			fmt.Fprintf(s.opts.Log, "sweepd: skipping %s: %v\n", name, err)
 			continue
 		}
 		var spec JobSpec
 		if err := json.Unmarshal(b, &spec); err != nil {
-			fmt.Fprintf(s.opts.Log, "sweepd: skipping %s: %v\n", de.Name(), err)
+			fmt.Fprintf(s.opts.Log, "sweepd: skipping %s: %v\n", name, err)
 			continue
 		}
 		if _, err := s.submit(spec); err != nil {
-			fmt.Fprintf(s.opts.Log, "sweepd: resume %s: %v\n", de.Name(), err)
+			fmt.Fprintf(s.opts.Log, "sweepd: %s %s: %v\n", verb, name, err)
 			continue
 		}
-		fmt.Fprintf(s.opts.Log, "sweepd: resumed job %s\n", spec.id())
+		fmt.Fprintf(s.opts.Log, "sweepd: %s job %s\n", verb, spec.id())
 	}
 	return nil
 }
 
-// Close stops accepting work: queued cells fail fast, in-flight cells
-// run to completion (their results are checkpointed in the store), and
-// Close returns once every cell goroutine has drained.
-func (s *Server) Close() {
-	s.closed.Store(true)
-	s.wg.Wait()
+// pollLoop rescans the state directory until drain so this worker
+// discovers jobs submitted through peers (or dropped in by hand).
+func (s *Server) pollLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.drainCh:
+			return
+		case <-t.C:
+			if err := s.scanJobs("discovered"); err != nil {
+				fmt.Fprintf(s.opts.Log, "sweepd: rescan: %v\n", err)
+			}
+		}
+	}
 }
+
+// StartDrain stops accepting work without waiting: submissions are
+// refused, queued cells fail fast, backoff sleeps cut short. In-flight
+// simulations keep running until Drain's deadline passes.
+func (s *Server) StartDrain() {
+	s.closed.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
+// Drain gracefully winds the server down: in-flight cells run to
+// completion (their results are checkpointed in the store and their
+// leases released), queued cells fail fast. If ctx expires first the
+// remaining in-flight simulations are truncated via their cancel hook
+// — the simulator polls it on the drive loop's stop grid, so the
+// residual wait after abort is microseconds of simulated time, and
+// every lease is still released on the way out.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.aborting.Store(true)
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close drains with no deadline: every in-flight cell finishes.
+func (s *Server) Close() { s.Drain(context.Background()) }
 
 // buildCells validates the spec and expands its grid. Pure function of
 // the spec, so a resumed server reconstructs the identical grid — and
@@ -267,7 +400,12 @@ func buildCells(spec JobSpec) ([]*cell, error) {
 }
 
 // submit registers the job (idempotently) and fans its cells across
-// the pool. The bool reports whether the job was newly created.
+// the pool. Cells are enqueued in a per-worker deterministic shuffle —
+// seeded by (owner, job ID) — so N workers sharing a store start from
+// different corners of the grid and divide it by lease contention
+// instead of colliding cell by cell in the same order. The job's Cells
+// slice keeps grid order, so results.csv is identical however many
+// workers raced.
 func (s *Server) submit(spec JobSpec) (*job, error) {
 	spec = spec.normalize()
 	cells, err := buildCells(spec)
@@ -289,8 +427,9 @@ func (s *Server) submit(spec JobSpec) (*job, error) {
 	if err := s.checkpoint(j); err != nil {
 		return nil, err
 	}
-	for _, c := range j.Cells {
-		s.enqueue(j, c)
+	order := rand.New(rand.NewSource(lease.Seed(s.leases.Owner(), id))).Perm(len(j.Cells))
+	for _, i := range order {
+		s.enqueue(j, j.Cells[i])
 	}
 	return j, nil
 }
@@ -324,56 +463,201 @@ func (s *Server) checkpoint(j *job) error {
 	return nil
 }
 
-// enqueue runs one cell: store tier first, simulator on a miss. Cells
-// are keyed by their store hash, so overlapping jobs join the same
-// in-flight run instead of repeating it.
+// enqueue runs one cell through the leased pipeline. Cells are keyed
+// by their store hash, so overlapping jobs join the same in-flight run
+// instead of repeating it.
 func (s *Server) enqueue(j *job, c *cell) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		res, err := s.pool.Do(c.key.Hash(), func() (hetsim.Results, error) {
-			if s.closed.Load() {
-				return hetsim.Results{}, errClosed
-			}
-			if res, ok := s.cache.Get(c.key); ok {
-				s.restored.Add(1)
-				return res, nil
-			}
-			res, err := runCell(c)
-			if err != nil {
-				return hetsim.Results{}, err
-			}
-			s.executed.Add(1)
-			if perr := s.cache.Put(c.key, res); perr != nil {
-				fmt.Fprintf(s.opts.Log, "sweepd: cache write failed: %v\n", perr)
-			}
-			return res, nil
+			return s.runLeased(c)
 		})
 		s.complete(j, c, res, err)
 	}()
 }
 
-// runCell performs the actual simulation, mirroring cmd/sweep.
-func runCell(c *cell) (hetsim.Results, error) {
+// sleep waits d unless the server starts draining first, reporting
+// whether the full wait elapsed.
+func (s *Server) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.drainCh:
+		return false
+	}
+}
+
+// runLeased is the per-cell state machine tying every robustness
+// mechanism together:
+//
+//	store hit → done (restored)
+//	lease held elsewhere → back off (capped exponential, seeded
+//	    jitter), re-check the store — the holder's finished result
+//	    arrives as a cache hit; if the holder dies instead, its lease
+//	    expires and the next TryAcquire reclaims it with a bumped
+//	    fencing token
+//	lease acquired → heartbeat in the background, run the simulator,
+//	    checkpoint to the store, release
+//	run error → release, count an attempt, back off, retry; past the
+//	    attempt budget the cell is poisoned
+//
+// Backoff sleeps happen while holding a pool slot — acceptable because
+// contention means another process is doing the cell's work, so this
+// worker's slot has nothing better to run that isn't also contended.
+func (s *Server) runLeased(c *cell) (hetsim.Results, error) {
+	hash := c.key.Hash()
+	bo := lease.NewBackoff(0, 0, lease.Seed(s.leases.Owner(), hash))
+	attempts := 0
+	for {
+		if s.closed.Load() {
+			return hetsim.Results{}, errClosed
+		}
+		if res, ok := s.cache.Get(c.key); ok {
+			s.restored.Add(1)
+			return res, nil
+		}
+		ls, err := s.leases.TryAcquire(hash)
+		if errors.Is(err, lease.ErrHeld) {
+			if !s.sleep(bo.Next()) {
+				return hetsim.Results{}, errClosed
+			}
+			continue
+		}
+		if err != nil {
+			return hetsim.Results{}, err
+		}
+		// Double-check under the lease: the previous holder may have
+		// finished between our store read and the acquire.
+		if res, ok := s.cache.Get(c.key); ok {
+			s.releaseLease(ls)
+			s.restored.Add(1)
+			return res, nil
+		}
+		stop := make(chan struct{})
+		lost := ls.Heartbeat(0, stop)
+		if hold := s.opts.HoldCellForTest; hold > 0 {
+			s.sleep(hold)
+		}
+		res, runErr := s.runCell(c)
+		close(stop)
+		select {
+		case <-lost:
+			// Reclaimed mid-run (a long stall outlived the TTL). The
+			// reclaimer is re-running the cell; our result is
+			// byte-identical, so publishing it anyway is harmless — the
+			// log line is for observability, not recovery.
+			fmt.Fprintf(s.opts.Log, "sweepd: lease lost mid-cell %s (duplicated work)\n", hash[:12])
+		default:
+		}
+		if runErr == nil {
+			if perr := s.cache.Put(c.key, res); perr != nil {
+				s.warnPut(perr)
+			}
+			s.releaseLease(ls)
+			s.executed.Add(1)
+			return res, nil
+		}
+		s.releaseLease(ls)
+		if s.closed.Load() {
+			// A drain-aborted run is a shutdown, not a strike against
+			// the cell.
+			return hetsim.Results{}, errClosed
+		}
+		attempts++
+		if attempts >= s.opts.CellAttempts {
+			return hetsim.Results{}, fmt.Errorf("%w after %d attempts: %v", errPoisoned, attempts, runErr)
+		}
+		fmt.Fprintf(s.opts.Log, "sweepd: cell %s attempt %d/%d failed, backing off: %v\n",
+			hash[:12], attempts, s.opts.CellAttempts, runErr)
+		if !s.sleep(bo.Next()) {
+			return hetsim.Results{}, errClosed
+		}
+	}
+}
+
+func (s *Server) releaseLease(l *lease.Lease) {
+	if err := l.Release(); err != nil {
+		fmt.Fprintf(s.opts.Log, "sweepd: lease release %s: %v\n", l.Key()[:12], err)
+	}
+}
+
+// warnPut logs a failed store write. The store itself latches into
+// degraded (memory-only) mode on environmental failures — disk full,
+// read-only filesystem — so the sweep keeps its in-memory memo tier
+// and finishes; the once-per-process warning makes the lost durability
+// impossible to miss in the log.
+func (s *Server) warnPut(err error) {
+	fmt.Fprintf(s.opts.Log, "sweepd: cache write failed: %v\n", err)
+	if s.disk != nil && s.disk.Degraded() {
+		s.degradedWarn.Do(func() {
+			fmt.Fprintf(s.opts.Log, "sweepd: WARNING: store degraded to memory-only memoization; finished cells are no longer durable and peers cannot see them\n")
+		})
+	}
+}
+
+// runCell performs the actual simulation with the cell deadline and
+// the drain-abort flag folded into one polled cancel hook. The hook is
+// latched: only a run the simulator actually truncated reports an
+// error — a run that finished just before its deadline is a result.
+func (s *Server) runCell(c *cell) (hetsim.Results, error) {
+	cfg := c.cfg
+	var deadline time.Time
+	if s.opts.CellTimeout > 0 {
+		deadline = time.Now().Add(s.opts.CellTimeout)
+	}
+	var tripped atomic.Bool
+	cfg.Cancel = func() bool {
+		if s.aborting.Load() {
+			tripped.Store(true)
+			return true
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			tripped.Store(true)
+			return true
+		}
+		return false
+	}
+	var res hetsim.Results
 	if c.key.Pair {
-		return hetsim.RunPair(c.cfg, c.Bench, c.scale)
+		var err error
+		res, err = hetsim.RunPair(cfg, c.Bench, c.scale)
+		if err != nil {
+			return hetsim.Results{}, err
+		}
+	} else {
+		sys, err := hetsim.NewSystem(cfg, c.Bench)
+		if err != nil {
+			return hetsim.Results{}, err
+		}
+		res = sys.Run(c.scale)
 	}
-	sys, err := hetsim.NewSystem(c.cfg, c.Bench)
-	if err != nil {
-		return hetsim.Results{}, err
+	if tripped.Load() {
+		if s.aborting.Load() {
+			return hetsim.Results{}, fmt.Errorf("sweepd: run aborted by drain deadline")
+		}
+		return hetsim.Results{}, fmt.Errorf("sweepd: run exceeded cell deadline %v", s.opts.CellTimeout)
 	}
-	return sys.Run(c.scale), nil
+	return res, nil
 }
 
 // complete records the finished cell and publishes its epoch series to
 // any live /epochs streams.
 func (s *Server) complete(j *job, c *cell, res hetsim.Results, err error) {
-	c.mu.Lock()
+	state := "done"
 	if err != nil {
-		c.state = "failed"
+		state = "failed"
+		if errors.Is(err, errPoisoned) {
+			state = "poisoned"
+		}
+	}
+	c.mu.Lock()
+	c.state = state
+	if err != nil {
 		c.errMsg = err.Error()
 	} else {
-		c.state = "done"
 		c.header = res.CSVHeader()
 		c.row = res.CSVRow()
 	}
@@ -395,10 +679,13 @@ func (s *Server) complete(j *job, c *cell, res hetsim.Results, err error) {
 	}
 
 	j.mu.Lock()
-	if err != nil {
-		j.failed++
-	} else {
+	switch state {
+	case "done":
 		j.done++
+	case "poisoned":
+		j.poisoned++
+	default:
+		j.failed++
 	}
 	j.epochLog = append(j.epochLog, chunk...)
 	j.mu.Unlock()
@@ -413,6 +700,9 @@ type Status struct {
 	Total  int     `json:"total"`
 	Done   int     `json:"done"`
 	Failed int     `json:"failed"`
+	// Poisoned counts cells that exhausted their retry budget; they are
+	// final (never retried) and make the job "failed".
+	Poisoned int `json:"poisoned,omitempty"`
 	// Executed and Restored are server-lifetime counters: cells that
 	// ran the simulator vs cells served from the durable store.
 	Executed uint64   `json:"executed"`
@@ -422,15 +712,15 @@ type Status struct {
 
 func (s *Server) status(j *job) Status {
 	j.mu.Lock()
-	done, failed := j.done, j.failed
+	done, failed, poisoned := j.done, j.failed, j.poisoned
 	j.mu.Unlock()
 	st := Status{
 		ID: j.ID, Spec: j.Spec, State: "running",
-		Total: len(j.Cells), Done: done, Failed: failed,
+		Total: len(j.Cells), Done: done, Failed: failed, Poisoned: poisoned,
 		Executed: s.executed.Load(), Restored: s.restored.Load(),
 	}
-	if done+failed == len(j.Cells) {
-		if failed > 0 {
+	if done+failed+poisoned == len(j.Cells) {
+		if failed+poisoned > 0 {
 			st.State = "failed"
 		} else {
 			st.State = "done"
@@ -446,6 +736,54 @@ func (s *Server) status(j *job) Status {
 	return st
 }
 
+// Health is the wire form of /healthz and /readyz.
+type Health struct {
+	OK       bool   `json:"ok"`
+	Owner    string `json:"owner"`
+	Draining bool   `json:"draining"`
+	// StoreWritable probes the objects tree with a real write; the
+	// probe also heals the degraded latch when the disk recovers.
+	StoreWritable bool `json:"store_writable"`
+	StoreDegraded bool `json:"store_degraded"`
+	// LiveLeases counts unexpired leases in the shared directory (all
+	// owners); HeldByPeers counts the ones not ours.
+	LiveLeases  int `json:"live_leases"`
+	HeldByPeers int `json:"held_by_peers"`
+	// QueueDepth is the number of unfinished cells across all jobs.
+	QueueDepth int `json:"queue_depth"`
+	Jobs       int `json:"jobs"`
+}
+
+func (s *Server) health() Health {
+	h := Health{Owner: s.leases.Owner(), Draining: s.closed.Load()}
+	if s.disk != nil {
+		h.StoreWritable = s.disk.Writable()
+		h.StoreDegraded = s.disk.Degraded()
+	} else {
+		h.StoreWritable = true // injected cache: nothing to probe
+	}
+	for _, owner := range s.leases.Holders() {
+		h.LiveLeases++
+		if owner != s.leases.Owner() {
+			h.HeldByPeers++
+		}
+	}
+	s.mu.Lock()
+	h.Jobs = len(s.jobs)
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		h.QueueDepth += len(j.Cells) - j.done - j.failed - j.poisoned
+		j.mu.Unlock()
+	}
+	h.OK = !h.Draining && h.StoreWritable
+	return h
+}
+
 // Handler builds the HTTP API:
 //
 //	POST /api/v1/sweeps              submit a JobSpec (idempotent)
@@ -453,6 +791,8 @@ func (s *Server) status(j *job) Status {
 //	GET  /api/v1/sweeps/{id}         one job's status
 //	GET  /api/v1/sweeps/{id}/results.csv   summary CSV (?wait=1 blocks)
 //	GET  /api/v1/sweeps/{id}/epochs  live per-epoch JSONL stream
+//	GET  /healthz                    liveness + store/lease/queue detail
+//	GET  /readyz                     200 while serving, 503 once draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/sweeps", s.handleSubmit)
@@ -460,7 +800,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/sweeps/{id}", s.handleStatus)
 	mux.HandleFunc("GET /api/v1/sweeps/{id}/results.csv", s.handleResults)
 	mux.HandleFunc("GET /api/v1/sweeps/{id}/epochs", s.handleEpochs)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.health())
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(h)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,192 @@
+// Package chaos injects faults into the durable-store layer — the
+// service-layer sibling of internal/faults, which injects bit flips
+// and chip kills into the simulated DRAM. A chaos.Store wraps any
+// store.Interface and perturbs its operations per a Plan:
+//
+//   - error-once: the first N operations of a kind fail, then recover
+//     (a transient NFS hiccup)
+//   - error-rate: each operation fails with seeded, deterministic
+//     probability p (a flaky disk)
+//   - hang: each faulted operation stalls for a configured duration
+//     before failing or proceeding (a stuck filesystem)
+//   - short-write: a Put "succeeds" but the committed object is
+//     truncated to half its bytes (a torn write the checksum layer
+//     must catch and heal)
+//
+// Every random decision comes from a rand.Rand seeded at construction,
+// so a chaos run is exactly reproducible: same plan, same seed, same
+// fault sequence. The sweep layer's acceptance bar is that any plan
+// short of a permanently dead store leaves results byte-identical to
+// a clean run — slower, noisier in the logs, but never wrong.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"hetsim/internal/core"
+	"hetsim/internal/store"
+)
+
+// ErrInjected marks every failure manufactured by this package, so
+// tests (and operators reading logs) can tell scripted faults from
+// real ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Op names a store operation for per-operation fault plans.
+type Op int
+
+const (
+	OpGet Op = iota
+	OpPut
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Plan configures the fault mix for one operation kind.
+type Plan struct {
+	// ErrOnce fails the first N operations, then stops injecting.
+	ErrOnce int
+	// ErrRate fails each operation with probability [0,1).
+	ErrRate float64
+	// Hang stalls every faulted operation this long before it fails
+	// (or, with HangAll, stalls every operation before it proceeds).
+	Hang time.Duration
+	// HangAll stalls every operation, faulted or not.
+	HangAll bool
+	// ShortWrite (Put only): instead of failing, let the inner Put
+	// succeed and then truncate the committed object to half its size —
+	// the torn-write artifact a kill-during-write leaves on disk.
+	ShortWrite bool
+}
+
+// Store wraps an inner store.Interface with fault injection. It is
+// safe for concurrent use; the fault stream is serialized under a
+// mutex so it stays deterministic for a fixed seed regardless of
+// goroutine interleaving of *other* work (two racing operations may
+// still observe either order — determinism holds per sequence of
+// operations, which single-threaded chaos tests pin exactly).
+type Store struct {
+	inner store.Interface
+	// objectPath locates committed entries for short-write truncation;
+	// non-nil only when the inner store exposes real files.
+	objectPath func(store.RunKey) string
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	plans [numOps]Plan
+	stats Stats
+}
+
+var _ store.Interface = (*Store)(nil)
+
+// Stats counts injected faults per operation.
+type Stats struct {
+	Ops      [numOps]uint64 // operations seen
+	Injected [numOps]uint64 // operations faulted
+	Torn     uint64         // Puts truncated by short-write
+}
+
+// Wrap builds a chaos store over inner with a deterministic seed.
+func Wrap(inner store.Interface, seed int64) *Store {
+	c := &Store{inner: inner, rng: rand.New(rand.NewSource(seed))}
+	if s, ok := inner.(*store.Store); ok {
+		c.objectPath = s.ObjectPath
+	}
+	return c
+}
+
+// SetPlan installs the fault plan for one operation kind.
+func (c *Store) SetPlan(op Op, p Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plans[op] = p
+}
+
+// Stats snapshots the fault counters.
+func (c *Store) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// decide consumes one fault decision for op under the mutex: whether
+// to inject, the stall to apply first, and the short-write variant.
+func (c *Store) decide(op Op) (inject bool, stall time.Duration, short bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := &c.plans[op]
+	c.stats.Ops[op]++
+	if p.ErrOnce > 0 {
+		p.ErrOnce--
+		inject = true
+	} else if p.ErrRate > 0 && c.rng.Float64() < p.ErrRate {
+		inject = true
+	}
+	if inject {
+		c.stats.Injected[op]++
+		stall = p.Hang
+		short = p.ShortWrite
+	} else if p.HangAll {
+		stall = p.Hang
+	}
+	return inject, stall, short
+}
+
+// Get looks up the key, subject to the OpGet plan. An injected Get
+// fault reads as a miss-with-error semantics collapsed to a miss: the
+// store.Interface contract has no error channel on Get, and a real
+// flaky read is a miss to the memo layers — they re-run and re-Put.
+func (c *Store) Get(k store.RunKey) (core.Results, bool) {
+	inject, stall, _ := c.decide(OpGet)
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	if inject {
+		return core.Results{}, false
+	}
+	return c.inner.Get(k)
+}
+
+// Put installs the entry, subject to the OpPut plan. ShortWrite faults
+// let the inner Put land and then tear the committed object in half —
+// exercising the read side's checksum verification and heal path.
+// Other injected faults fail the Put with ErrInjected.
+func (c *Store) Put(k store.RunKey, res core.Results) error {
+	inject, stall, short := c.decide(OpPut)
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	if !inject {
+		return c.inner.Put(k, res)
+	}
+	if short && c.objectPath != nil {
+		if err := c.inner.Put(k, res); err != nil {
+			return err
+		}
+		path := c.objectPath(k)
+		if fi, err := os.Stat(path); err == nil {
+			if err := os.Truncate(path, fi.Size()/2); err == nil {
+				c.mu.Lock()
+				c.stats.Torn++
+				c.mu.Unlock()
+				return nil // the write "succeeded"; the tear is latent
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: put %s/%s", ErrInjected, k.Cfg.Name, k.Bench)
+}

@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hetsim/internal/core"
+	"hetsim/internal/store"
+)
+
+func openWrapped(t *testing.T, seed int64) (*Store, *store.Store) {
+	t.Helper()
+	inner, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Wrap(inner, seed), inner
+}
+
+func key(bench string) store.RunKey {
+	return store.RunKey{Cfg: core.RL(8).Key(), Bench: bench, Scale: core.TestScale()}
+}
+
+func results(bench string) core.Results {
+	return core.Results{Benchmark: bench, Config: "RL", Cycles: 1000,
+		DemandReads: 42, SumIPC: 2.0, IPCs: []float64{2.0}}
+}
+
+func TestPassThroughWithoutPlan(t *testing.T) {
+	c, _ := openWrapped(t, 1)
+	k := key("mcf")
+	if err := c.Put(k, results("mcf")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get(k); !ok || got.Benchmark != "mcf" {
+		t.Fatalf("clean wrapper broke the round trip: ok=%v %+v", ok, got)
+	}
+}
+
+func TestErrOnceRecovers(t *testing.T) {
+	c, _ := openWrapped(t, 1)
+	c.SetPlan(OpPut, Plan{ErrOnce: 2})
+	k := key("mcf")
+	for i := 0; i < 2; i++ {
+		if err := c.Put(k, results("mcf")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("put %d: got %v, want ErrInjected", i, err)
+		}
+	}
+	if err := c.Put(k, results("mcf")); err != nil {
+		t.Fatalf("put after budget: %v", err)
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("recovered entry not served")
+	}
+	st := c.Stats()
+	if st.Injected[OpPut] != 2 || st.Ops[OpPut] != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestErrRateDeterministic(t *testing.T) {
+	sequence := func(seed int64) []bool {
+		c, _ := openWrapped(t, seed)
+		c.SetPlan(OpGet, Plan{ErrRate: 0.5})
+		k := key("mcf")
+		if err := c.inner.Put(k, results("mcf")); err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 64; i++ {
+			_, ok := c.Get(k)
+			out = append(out, ok)
+		}
+		return out
+	}
+	a, b := sequence(7), sequence(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: same seed diverged", i)
+		}
+	}
+	misses := 0
+	for _, ok := range a {
+		if !ok {
+			misses++
+		}
+	}
+	if misses == 0 || misses == len(a) {
+		t.Fatalf("rate 0.5 produced %d/%d misses", misses, len(a))
+	}
+	// A different seed must eventually produce a different sequence.
+	diff := sequence(8)
+	same := true
+	for i := range a {
+		if a[i] != diff[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestHangStalls(t *testing.T) {
+	c, _ := openWrapped(t, 1)
+	c.SetPlan(OpGet, Plan{HangAll: true, Hang: 50 * time.Millisecond})
+	start := time.Now()
+	c.Get(key("mcf"))
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("hang plan stalled only %v", d)
+	}
+}
+
+// TestShortWriteCaughtAndHealed is the chaos harness's core promise:
+// a torn committed object is served as a miss (never a wrong hit),
+// quarantined, and the re-run's Put heals it.
+func TestShortWriteCaughtAndHealed(t *testing.T) {
+	c, inner := openWrapped(t, 1)
+	c.SetPlan(OpPut, Plan{ErrOnce: 1, ShortWrite: true})
+	k := key("mcf")
+
+	// The torn write reports success — exactly like a real short write
+	// that the writer never noticed.
+	if err := c.Put(k, results("mcf")); err != nil {
+		t.Fatalf("short write surfaced an error: %v", err)
+	}
+	if c.Stats().Torn != 1 {
+		t.Fatalf("stats = %+v, want 1 torn", c.Stats())
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("torn object served as a hit")
+	}
+	if inner.Stats().Corrupt != 1 {
+		t.Fatalf("inner store stats = %+v, want 1 corrupt", inner.Stats())
+	}
+	// Heal: the plan's budget is spent, so this Put lands intact.
+	if err := c.Put(k, results("mcf")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get(k); !ok || got.Benchmark != "mcf" {
+		t.Fatalf("healed entry not served: ok=%v", ok)
+	}
+}

@@ -115,6 +115,16 @@ type SystemConfig struct {
 	// (see internal/trace). Not part of a configuration's identity.
 	TraceFn func(trace.Record)
 
+	// Cancel, when set, is polled on the drive loop's stop grid (every
+	// 64 simulated cycles): returning true ends the current drive at
+	// the next grid point, truncating the run. The sweep layers thread
+	// per-cell deadlines and context cancellation through it; a caller
+	// that observes its Cancel fired must discard the partial Results.
+	// Like TraceFn, an execution-control hook — not part of a
+	// configuration's identity (a run that completes was never
+	// affected by it).
+	Cancel func() bool
+
 	// LineMapping overrides the line channels' address interleaving
 	// (§5: the paper picks the open-row mapping because it gives the
 	// best-performing baseline among common schemes; this knob lets the

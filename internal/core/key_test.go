@@ -40,6 +40,10 @@ func TestConfigKeyCoversSystemConfig(t *testing.T) {
 		// TraceFn is an observation hook; its doc comment declares it
 		// "not part of a configuration's identity".
 		"TraceFn": nil,
+		// Cancel is an execution-control hook (deadline/context
+		// cancellation): a run that completes was never affected by it,
+		// and a canceled run is discarded, so it cannot alias results.
+		"Cancel": nil,
 		// Parallel selects an execution strategy with byte-identical
 		// output (its doc comment declares it not part of the identity),
 		// so serial and parallel runs share cache entries.

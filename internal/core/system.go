@@ -398,9 +398,21 @@ func (s *System) Run(scale RunScale) Results {
 		}
 	}
 	s.prewarm(scale.PrewarmOps)
+	// withCancel folds Cfg.Cancel into a stop condition: a fired
+	// deadline or context ends the drive at the next stop-grid point.
+	// With Cancel nil (or never firing) the closure is pass-through, so
+	// completed runs are bit-identical whether or not a deadline was
+	// armed.
+	withCancel := func(stop func() bool) func() bool {
+		c := s.Cfg.Cancel
+		if c == nil {
+			return stop
+		}
+		return func() bool { return c() || stop() }
+	}
 	// Warmup.
 	warmTarget := s.Hier.Stat.DemandFills + scale.WarmupReads
-	s.drive(func() bool { return s.Hier.Stat.DemandFills >= warmTarget },
+	s.drive(withCancel(func() bool { return s.Hier.Stat.DemandFills >= warmTarget }),
 		s.Eng.Now()+scale.MaxCycles/4)
 
 	for _, c := range s.Cores {
@@ -421,7 +433,7 @@ func (s *System) Run(scale RunScale) Results {
 	}
 
 	target := s.Hier.Stat.DemandFills + scale.MeasureReads
-	s.drive(func() bool { return s.Hier.Stat.DemandFills >= target },
+	s.drive(withCancel(func() bool { return s.Hier.Stat.DemandFills >= target }),
 		start.Cycle+scale.MaxCycles)
 	end := s.Reg.Snapshot(s.Eng.Now())
 
@@ -810,6 +822,9 @@ func RunPair(cfg SystemConfig, spec workload.Spec, scale RunScale) (Results, err
 	baseCfg := Baseline(1)
 	baseCfg.Prefetch = cfg.Prefetch
 	baseCfg.Seed = cfg.Seed
+	// The stand-alone references honour the same deadline/cancellation
+	// hook as the shared run, so a cell deadline bounds the whole pair.
+	baseCfg.Cancel = cfg.Cancel
 	baseSys, err := NewSystem(baseCfg, spec)
 	if err != nil {
 		return Results{}, err

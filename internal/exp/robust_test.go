@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"hetsim/internal/chaos"
+	"hetsim/internal/core"
+	"hetsim/internal/store"
+)
+
+// TestCellTimeoutTruncatesRun arms an unmeetable per-cell deadline and
+// checks the run fails with ErrRunCanceled instead of hanging or
+// returning a silently short result.
+func TestCellTimeoutTruncatesRun(t *testing.T) {
+	r := NewRunner(Options{Scale: core.TestScale(), Workers: 1,
+		CellTimeout: time.Nanosecond})
+	_, err := r.Run(core.RL(2), "libquantum")
+	if !errors.Is(err, ErrRunCanceled) {
+		t.Fatalf("got %v, want ErrRunCanceled", err)
+	}
+}
+
+// TestContextCancelTruncatesRun: a canceled context fails the run the
+// same way.
+func TestContextCancelTruncatesRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner(Options{Scale: core.TestScale(), Workers: 1, Context: ctx})
+	_, err := r.Run(core.RL(2), "libquantum")
+	if !errors.Is(err, ErrRunCanceled) {
+		t.Fatalf("got %v, want ErrRunCanceled", err)
+	}
+}
+
+// TestGenerousDeadlineDoesNotPerturbResults pins that merely arming a
+// deadline — polling wall clock on the stop grid — cannot change the
+// simulated outcome: results with and without CellTimeout are deeply
+// equal.
+func TestGenerousDeadlineDoesNotPerturbResults(t *testing.T) {
+	plain := NewRunner(Options{Scale: core.TestScale(), Workers: 1})
+	timed := NewRunner(Options{Scale: core.TestScale(), Workers: 1,
+		CellTimeout: time.Hour, Context: context.Background()})
+	want, err := plain.Run(core.RL(2), "libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := timed.Run(core.RL(2), "libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("arming a generous deadline changed the results")
+	}
+}
+
+// TestChaoticStoreDegradesToMemoryOnly runs a sweep over a store whose
+// every write fails: the sweep must complete with correct results
+// (memory-only memoization), not error out.
+func TestChaoticStoreDegradesToMemoryOnly(t *testing.T) {
+	inner, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := chaos.Wrap(inner, 42)
+	cs.SetPlan(chaos.OpPut, chaos.Plan{ErrRate: 1.0})
+	cs.SetPlan(chaos.OpGet, chaos.Plan{ErrRate: 1.0})
+
+	clean := NewRunner(Options{Scale: core.TestScale(), Workers: 1})
+	want, err := clean.Run(core.RL(2), "libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaotic := NewRunner(Options{Scale: core.TestScale(), Workers: 1, Store: cs})
+	got, err := chaotic.Run(core.RL(2), "libquantum")
+	if err != nil {
+		t.Fatalf("sweep failed under store chaos: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("store chaos changed simulation results")
+	}
+	// And the memo tier still dedups: a second Run is free (no way to
+	// observe "free" directly here, but it must at least be identical).
+	again, err := chaotic.Run(core.RL(2), "libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, again) {
+		t.Fatal("memoized result diverged under store chaos")
+	}
+}

@@ -10,9 +10,13 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hetsim/internal/core"
@@ -21,6 +25,11 @@ import (
 	"hetsim/internal/store"
 	"hetsim/internal/workload"
 )
+
+// ErrRunCanceled marks a run truncated by Options.Context or a
+// per-cell deadline (Options.CellTimeout). The partial Results are
+// discarded — a canceled run is an error, never a shorter answer.
+var ErrRunCanceled = errors.New("exp: run canceled")
 
 // Options scope an experiment sweep.
 type Options struct {
@@ -40,7 +49,20 @@ type Options struct {
 	// memo: every run is looked up on disk before executing and written
 	// back after (the -cache-dir flag). Determinism makes hits exact
 	// stand-ins for re-runs, so output is byte-identical either way.
-	Store *store.Store
+	// The interface seam (rather than the concrete *store.Store) is
+	// what lets the chaos harness inject disk faults underneath whole
+	// experiment sweeps; store write failures are logged warnings, so a
+	// flaky or full disk degrades runs to memory-only memoization
+	// instead of failing them.
+	Store store.Interface
+	// Context, when non-nil, cancels in-flight and future runs when it
+	// is done: the simulator polls it on the drive loop's stop grid and
+	// the truncated run surfaces ErrRunCanceled.
+	Context context.Context
+	// CellTimeout bounds each (config, benchmark) run (the full
+	// RunPair, stand-alone references included). A run that exceeds it
+	// is truncated and fails with ErrRunCanceled; 0 = no deadline.
+	CellTimeout time.Duration
 	// Parallel turns on lane-parallel execution for every run (the
 	// -parallel flag). Output is byte-identical, so it is excluded from
 	// both the memo key and the store key — cached serial results serve
@@ -58,6 +80,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Scale == (core.RunScale{}) {
 		o.Scale = core.BenchScale()
+	}
+	// A nil *store.Store boxed into the interface field would pass the
+	// != nil checks on the run path and panic inside the store; treat a
+	// typed nil the same as no store at all.
+	if v := reflect.ValueOf(o.Store); v.Kind() == reflect.Pointer && v.IsNil() {
+		o.Store = nil
 	}
 	return o
 }
@@ -127,10 +155,27 @@ func (r *Runner) Start(cfg core.SystemConfig, bench string) *runpool.Task[core.R
 				return res, nil
 			}
 		}
+		// Deadline / cancellation: the hook is latched, so only a run
+		// the simulator actually truncated reports cancellation — a run
+		// that finished just before its deadline passed is a result,
+		// not an error. The latch also starts the clock here, when the
+		// run starts, not when it was submitted to the pool.
+		cancel, tripped := r.cancelHook()
+		if cancel != nil {
+			if cancel() {
+				return core.Results{}, fmt.Errorf("%w before start: %s/%s", ErrRunCanceled, cfg.Name, bench)
+			}
+			tripped.Store(false) // the pre-start probe may have latched
+			cfg.Cancel = cancel
+		}
 		start := time.Now()
 		res, err := core.RunPair(cfg, spec, r.Opts.Scale)
 		if err != nil {
 			return core.Results{}, err
+		}
+		if tripped != nil && tripped.Load() {
+			return core.Results{}, fmt.Errorf("%w after %v: %s/%s",
+				ErrRunCanceled, time.Since(start).Round(time.Millisecond), cfg.Name, bench)
 		}
 		r.recordEpochs(cfg.Name, bench, res.Epochs)
 		r.progress(cfg.Name, bench, time.Since(start))
@@ -143,6 +188,33 @@ func (r *Runner) Start(cfg core.SystemConfig, bench string) *runpool.Task[core.R
 		}
 		return res, nil
 	})
+}
+
+// cancelHook builds the polled cancellation closure for one run from
+// Options.Context and Options.CellTimeout, plus the latch recording
+// whether it ever fired. Returns (nil, nil) when neither is set, so
+// the common path stays allocation- and check-free.
+func (r *Runner) cancelHook() (func() bool, *atomic.Bool) {
+	ctx, timeout := r.Opts.Context, r.Opts.CellTimeout
+	if ctx == nil && timeout <= 0 {
+		return nil, nil
+	}
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	tripped := new(atomic.Bool)
+	return func() bool {
+		if ctx != nil && ctx.Err() != nil {
+			tripped.Store(true)
+			return true
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			tripped.Store(true)
+			return true
+		}
+		return false
+	}, tripped
 }
 
 // progress emits one per-run completion line (mutex-guarded; run

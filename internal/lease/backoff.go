@@ -1,0 +1,72 @@
+package lease
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff produces capped exponential delays with deterministic,
+// seeded jitter: base, 2·base, 4·base … capped at max, each scaled by
+// a uniform factor in [0.5, 1.5) drawn from a rand.Rand seeded at
+// construction. Two Backoffs with the same seed emit the same
+// sequence, so contention tests are reproducible; two workers seed
+// with their distinct owner identities, so their retry schedules
+// decorrelate instead of thundering in lockstep.
+type Backoff struct {
+	base, max time.Duration
+	attempt   int
+	rng       *rand.Rand
+}
+
+// NewBackoff builds a backoff policy. base <= 0 defaults to 10ms,
+// max <= 0 to 100·base.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 100 * base
+	}
+	return &Backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed derives a deterministic int64 seed from a string identity
+// (owner, key) using FNV-1a, for NewBackoff.
+func Seed(parts ...string) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime64
+		}
+		h ^= 0xff // separator so ("ab","c") != ("a","bc")
+		h *= prime64
+	}
+	return int64(h)
+}
+
+// Next returns the next delay and advances the schedule.
+func (b *Backoff) Next() time.Duration {
+	d := b.base << b.attempt
+	if d > b.max || d < b.base { // d < base catches shift overflow
+		d = b.max
+	} else {
+		b.attempt++
+	}
+	// Jitter in [0.5, 1.5): decorrelates contending workers while
+	// keeping every delay within 2× of its nominal value.
+	j := 0.5 + b.rng.Float64()
+	d = time.Duration(float64(d) * j)
+	if d <= 0 {
+		d = b.base
+	}
+	return d
+}
+
+// Reset rewinds the schedule to the first attempt (the jitter stream
+// keeps advancing — resets do not replay delays).
+func (b *Backoff) Reset() { b.attempt = 0 }

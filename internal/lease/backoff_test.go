@@ -1,0 +1,70 @@
+package lease
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	const base, max = 10 * time.Millisecond, 200 * time.Millisecond
+	a := NewBackoff(base, max, 7)
+	b := NewBackoff(base, max, 7)
+	var prevNominal time.Duration
+	for i := 0; i < 32; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("step %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		// Every jittered delay stays within [0.5, 1.5)× of the cap.
+		if da < base/2 || da >= max+max/2 {
+			t.Fatalf("step %d: delay %v outside [%v, %v)", i, da, base/2, max+max/2)
+		}
+		if i > 10 && da >= 2*prevNominal && prevNominal > max {
+			t.Fatalf("step %d: delay kept growing past the cap: %v", i, da)
+		}
+		prevNominal = da
+	}
+}
+
+func TestBackoffGrowsThenReset(t *testing.T) {
+	b := NewBackoff(time.Millisecond, time.Second, 1)
+	first := b.Next()
+	var later time.Duration
+	for i := 0; i < 8; i++ {
+		later = b.Next()
+	}
+	// With jitter in [0.5,1.5), attempt 8 (256×) must exceed attempt 0.
+	if later <= first {
+		t.Fatalf("backoff not growing: first %v, later %v", first, later)
+	}
+	b.Reset()
+	if d := b.Next(); d >= 2*time.Millisecond {
+		t.Fatalf("post-reset delay %v, want ~base", d)
+	}
+}
+
+func TestSeedDistinguishesParts(t *testing.T) {
+	if Seed("ab", "c") == Seed("a", "bc") {
+		t.Fatal("seed ignores part boundaries")
+	}
+	if Seed("w1", "k") == Seed("w2", "k") {
+		t.Fatal("seed ignores owner")
+	}
+	if Seed("w1", "k") != Seed("w1", "k") {
+		t.Fatal("seed not deterministic")
+	}
+}
+
+func TestBackoffSeedsDecorrelate(t *testing.T) {
+	a := NewBackoff(10*time.Millisecond, time.Second, Seed("w1"))
+	b := NewBackoff(10*time.Millisecond, time.Second, Seed("w2"))
+	same := 0
+	for i := 0; i < 16; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("distinct seeds produced identical schedules")
+	}
+}

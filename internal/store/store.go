@@ -3,15 +3,27 @@ package store
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"hetsim/internal/core"
 )
+
+// Interface is the store API the memo layers consume: the durable
+// tier under exp.Runner and the sweepd cell cache both depend on this
+// rather than the concrete Store, so a fault-injecting wrapper
+// (internal/chaos) or an in-memory fake can stand in anywhere.
+type Interface interface {
+	Get(RunKey) (core.Results, bool)
+	Put(RunKey, core.Results) error
+}
 
 // Store is a durable, content-addressed result cache rooted at one
 // directory. It is safe for concurrent use by any number of goroutines
@@ -32,6 +44,33 @@ type Store struct {
 	// LRU-by-atime eviction sweep. Both are guarded by mu.
 	maxBytes  int64
 	liveBytes int64
+
+	// degraded latches when a Put hits a full or read-only filesystem.
+	// While set, Put returns ErrDegraded immediately — the callers'
+	// in-memory memo tiers keep the sweep running (degraded to
+	// memory-only memoization) instead of every run paying a doomed
+	// write. Get still works: reads usually survive the conditions that
+	// break writes. Writable re-probes the directory and clears the
+	// latch when the disk recovers.
+	degraded atomic.Bool
+}
+
+var _ Interface = (*Store)(nil)
+
+// ErrDegraded is returned by Put while the store is in degraded
+// (memory-only) mode after a write hit ENOSPC or a read-only
+// filesystem. Callers already treat Put errors as warnings; this one
+// additionally means "stop expecting writes to work until Writable
+// says otherwise".
+var ErrDegraded = errors.New("store: degraded to memory-only (disk full or read-only)")
+
+// degradeClass reports whether err is an environmental write failure
+// — disk full, quota, read-only filesystem, or a permission-denied
+// objects tree — that should flip the store into degraded mode rather
+// than merely fail one Put.
+func degradeClass(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EROFS) ||
+		errors.Is(err, syscall.EDQUOT) || errors.Is(err, syscall.EACCES)
 }
 
 // Stats counts store activity since Open.
@@ -113,16 +152,63 @@ func (s *Store) Get(k RunKey) (core.Results, bool) {
 	return res, true
 }
 
-// Put installs the entry for the key atomically: encode, write to a
-// temp file in the same directory, rename into place. A crash at any
-// point leaves either the old entry, the new entry, or an orphaned
-// temp file — never a torn object at the content address.
+// fsyncFile and fsyncDir are seams for the crash-simulation tests:
+// production always syncs, tests count the calls or script failures.
+var (
+	fsyncFile = func(f *os.File) error { return f.Sync() }
+	fsyncDir  = func(dir string) error {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		return d.Sync()
+	}
+)
+
+// Put installs the entry for the key atomically and durably: encode,
+// write to a temp file in the same directory, fsync the file, rename
+// into place, fsync the directory. The rename gives atomicity against
+// concurrent readers; the two fsyncs give durability against a host
+// crash — without them the rename can be journalled before the data
+// blocks land, and power loss leaves a zero-length (or torn) file at
+// the committed path. The checksum layer would catch and heal such an
+// entry, but an fsynced rename never produces one in the first place.
+//
+// A Put on a full or read-only filesystem flips the store into
+// degraded mode: this Put fails with the underlying error, every
+// subsequent Put fails fast with ErrDegraded (no doomed I/O per run),
+// and Writable re-probes and recovers.
 func (s *Store) Put(k RunKey, res core.Results) error {
+	if s.degraded.Load() {
+		return ErrDegraded
+	}
 	b, err := Encode(k, res)
 	if err != nil {
 		return err
 	}
 	path := s.objectPath(k.Hash())
+	if err := s.install(path, b); err != nil {
+		if degradeClass(err) {
+			s.degraded.Store(true)
+			return fmt.Errorf("%w: %v", ErrDegraded, err)
+		}
+		return err
+	}
+	s.count(func(st *Stats) { st.Writes++ })
+	s.appendIndex(k, res)
+	s.mu.Lock()
+	s.liveBytes += int64(len(b))
+	if s.maxBytes > 0 && s.liveBytes > s.maxBytes {
+		s.sweepLocked()
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// install writes b to path via the durable temp+fsync+rename+fsync
+// sequence.
+func (s *Store) install(path string, b []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -135,6 +221,11 @@ func (s *Store) Put(k RunKey, res core.Results) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
+	if err := fsyncFile(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: fsync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
@@ -143,16 +234,45 @@ func (s *Store) Put(k RunKey, res core.Results) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
-	s.count(func(st *Stats) { st.Writes++ })
-	s.appendIndex(k, res)
-	s.mu.Lock()
-	s.liveBytes += int64(len(b))
-	if s.maxBytes > 0 && s.liveBytes > s.maxBytes {
-		s.sweepLocked()
+	// Make the rename itself durable: sync the directory holding the
+	// entry. A failure here is reported (the entry is installed but a
+	// crash could still un-commit it), but the in-memory state is
+	// already correct, so callers treat it like any other Put warning.
+	if err := fsyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("store: dir fsync: %w", err)
 	}
-	s.mu.Unlock()
 	return nil
 }
+
+// Degraded reports whether the store has latched into memory-only
+// mode after a write failure.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// Writable probes the store directory with a real create+sync+remove
+// round trip. A successful probe clears the degraded latch, so a
+// health endpoint polling Writable doubles as the store's recovery
+// path once space is freed or the filesystem is remounted read-write.
+func (s *Store) Writable() bool {
+	f, err := os.CreateTemp(filepath.Join(s.dir, "objects"), ".probe-*")
+	if err != nil {
+		return false
+	}
+	name := f.Name()
+	_, werr := f.Write([]byte("probe"))
+	serr := fsyncFile(f)
+	f.Close()
+	os.Remove(name)
+	if werr != nil || serr != nil {
+		return false
+	}
+	s.degraded.Store(false)
+	return true
+}
+
+// ObjectPath exposes the entry file path for a key, for tooling and
+// the chaos layer's torn-write injection. The path is a pure function
+// of the key; the file may or may not exist.
+func (s *Store) ObjectPath(k RunKey) string { return s.objectPath(k.Hash()) }
 
 // sweepLocked re-measures the objects tree and, if it exceeds maxBytes,
 // deletes entries in ascending access-time order until it fits. Ties
