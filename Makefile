@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race fuzz faults bench bench-json bench-parallel bench-controller bench-telemetry bench-store sweepd chaos profile profile-parallel verify
+.PHONY: build vet test race fuzz faults topologies bench bench-json bench-parallel bench-controller bench-telemetry bench-store sweepd chaos profile profile-parallel verify
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,13 @@ fuzz:
 	$(GO) test ./internal/faults/ -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/store/ -fuzz FuzzStoreKey -fuzztime 30s
 	$(GO) test ./internal/store/ -fuzz FuzzEntryCodec -fuzztime 30s
+	$(GO) test ./internal/topology/ -fuzz FuzzTopologyParse -fuzztime 30s
+
+# The declarative-topology study: the 3-tier DRAM-cache system and the
+# §10 HMC mix across a representative benchmark set at quick scale.
+topologies:
+	$(GO) run ./cmd/experiments -topology dram-cache,hmc-mix -scale quick \
+		-benchmarks libquantum,mcf,lbm,omnetpp -j 0
 
 # Fault-sensitivity table: the RL system under escalating bit-fault
 # rates, a scripted line chip-kill, and a dead critical-word DIMM.

@@ -22,13 +22,14 @@ import (
 
 	"hetsim"
 	"hetsim/internal/exp"
+	"hetsim/internal/grid"
 	"hetsim/internal/profiling"
 	"hetsim/internal/sim"
 	"hetsim/internal/store"
 )
 
 func main() {
-	scaleName := flag.String("scale", "bench", "run scale: test|bench|paper")
+	scaleName := flag.String("scale", "bench", "run scale: quick|test|bench|paper")
 	benches := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
 	only := flag.String("only", "", "comma-separated experiment subset (default: all)")
 	cores := flag.Int("cores", 8, "core count")
@@ -41,6 +42,7 @@ func main() {
 	faultSpec := flag.String("faults", "", `fault environment applied to every run, e.g. "crit.bit=1e-4; line.bit=1e-4; @1000 chipkill line 0 3"`)
 	faultSeed := flag.Uint64("fault-seed", 0, "override the fault-injection RNG seed (with -faults)")
 	verbose := flag.Bool("v", false, "log each run")
+	topoFlag := flag.String("topology", "", "comma-separated topology names or specs to study against the baseline (e.g. \"dram-cache,crit:rldram3x4+line:lpddr2x4\"); implies -only topologies")
 	epochInterval := flag.Int64("epoch-interval", 0, "sample telemetry every N cycles of each measured window (0 = off)")
 	epochCSV := flag.String("epoch-csv", "", "write the per-epoch time-series as CSV to this file (needs -epoch-interval)")
 	epochJSONL := flag.String("epoch-jsonl", "", "write the per-epoch time-series as JSON lines to this file (needs -epoch-interval)")
@@ -58,6 +60,8 @@ func main() {
 
 	var scale hetsim.Scale
 	switch *scaleName {
+	case "quick":
+		scale = hetsim.QuickScale()
 	case "test":
 		scale = hetsim.TestScale()
 	case "bench":
@@ -67,6 +71,21 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "experiments: unknown scale", *scaleName)
 		os.Exit(2)
+	}
+
+	// Resolve -topology before anything runs so a typo fails fast.
+	var topoCfgs []hetsim.Config
+	for _, item := range strings.Split(*topoFlag, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		cfg, err := topoConfig(item)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(2)
+		}
+		topoCfgs = append(topoCfgs, cfg)
 	}
 
 	if *measure > 0 {
@@ -116,6 +135,10 @@ func main() {
 		for _, e := range strings.Split(*only, ",") {
 			want[strings.TrimSpace(strings.ToLower(e))] = true
 		}
+	}
+	// -topology without -only means "study just these topologies".
+	if *topoFlag != "" && len(want) == 0 {
+		want["topologies"] = true
 	}
 	sel := func(name string) bool { return len(want) == 0 || want[name] }
 
@@ -326,6 +349,21 @@ func main() {
 			"§10 heterogeneous HMC", res.MeanRL, res.MeanHMC))
 	}
 
+	// The topology study is opt-in (it goes beyond the paper's
+	// evaluation): run it when -topology is given or "topologies" is
+	// named in -only, so the default output stays byte-identical.
+	if want["topologies"] {
+		res, err := exp.Topologies(r, topoCfgs)
+		if err != nil {
+			fail("topologies", err)
+		}
+		fmt.Println(res.Table)
+		for _, name := range res.Names {
+			note(fmt.Sprintf("%-34s beyond the paper  measured %.3f",
+				"topology "+name, res.Means[name]))
+		}
+	}
+
 	// The fault-sensitivity sweep is opt-in (it is not part of the
 	// paper's evaluation): run it only when named explicitly in -only,
 	// so the default output stays byte-identical.
@@ -368,6 +406,20 @@ func main() {
 	st := r.Stats()
 	fmt.Fprintf(os.Stderr, "experiments: %d runs (%d deduped) on %d workers in %.1fs\n",
 		st.Executed, st.Deduped, r.Workers(), time.Since(start).Seconds())
+}
+
+// topoConfig resolves one -topology item: a grid config name (so
+// "dram-cache" and "hmc-mix" get their presets) or a topology name /
+// raw spec applied on top of the baseline machine.
+func topoConfig(item string) (hetsim.Config, error) {
+	if cfg, err := grid.Config(item, 0); err == nil {
+		return cfg, nil
+	}
+	cfg := hetsim.Baseline(0)
+	if err := grid.ApplyTopology(&cfg, item); err != nil {
+		return hetsim.Config{}, err
+	}
+	return cfg, nil
 }
 
 // writeEpochs dumps the runner's recorded epoch series to a file.

@@ -4,9 +4,12 @@
 // Usage:
 //
 //	hetsim -bench mcf -config rl -scale bench
+//	hetsim -bench mcf -topology "crit:rldram3x4+line:lpddr2x4"
 //
 // Configurations: baseline, lpddr2, rldram3, rd, rl, dl, rl-ad, rl-or,
-// rl-random.
+// rl-random, hmc, hmc-mix, dram-cache. -topology overrides the
+// configuration's memory organization with a named topology or a raw
+// spec string.
 package main
 
 import (
@@ -36,8 +39,9 @@ func scaleByName(name string) (hetsim.Scale, error) {
 
 func main() {
 	bench := flag.String("bench", "mcf", "benchmark name (see -list)")
-	config := flag.String("config", "baseline", "memory configuration (baseline|lpddr2|rldram3|rd|rl|dl|rl-ad|rl-or|rl-random|hmc)")
-	scaleName := flag.String("scale", "bench", "run scale: test|bench|paper")
+	config := flag.String("config", "baseline", "memory configuration ("+strings.Join(grid.ConfigNames(), "|")+")")
+	topo := flag.String("topology", "", "override the memory organization: a named topology ("+strings.Join(grid.TopologyNames(), "|")+") or a raw spec like crit:rldram3x4+line:lpddr2x4")
+	scaleName := flag.String("scale", "bench", "run scale: quick|test|bench|paper")
 	cores := flag.Int("cores", 8, "core count")
 	pair := flag.Bool("pair", false, "also run the stand-alone reference and report weighted speedup")
 	list := flag.Bool("list", false, "list benchmarks and exit")
@@ -59,6 +63,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hetsim:", err)
 		os.Exit(2)
+	}
+	if *topo != "" {
+		if err := grid.ApplyTopology(&cfg, *topo); err != nil {
+			fmt.Fprintln(os.Stderr, "hetsim:", err)
+			os.Exit(2)
+		}
 	}
 	cfg.Parallel = *parallel
 	scale, err := scaleByName(*scaleName)

@@ -47,9 +47,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	bench := fs.String("bench", "libquantum", "benchmark name")
 	config := fs.String("config", "rl", "configuration (see cmd/hetsim)")
+	topo := fs.String("topology", "", "override the memory organization: a named topology ("+strings.Join(grid.TopologyNames(), "|")+") or a raw spec")
 	param := fs.String("param", "robsize", "swept parameter: "+strings.Join(grid.Params(), "|"))
 	values := fs.String("values", "32,64,128", "comma-separated values")
-	scaleName := fs.String("scale", "test", "base run scale: test|bench|paper")
+	scaleName := fs.String("scale", "test", "base run scale: quick|test|bench|paper")
 	out := fs.String("o", "", "output CSV path (default stdout)")
 	pair := fs.Bool("pair", false, "run the stand-alone reference too (fills throughput columns)")
 	faultSpec := fs.String("faults", "", `fault environment applied to every grid point, e.g. "line.bit=1e-4; @1000 chipkill line 0 3"`)
@@ -128,6 +129,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg, err := grid.Config(*config, 8)
 		if err != nil {
 			return err
+		}
+		if *topo != "" {
+			if err := grid.ApplyTopology(&cfg, *topo); err != nil {
+				return err
+			}
 		}
 		cfg.Parallel = *parallel
 		cfg.Faults = baseFaults

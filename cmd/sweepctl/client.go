@@ -22,6 +22,7 @@ import (
 type jobSpec struct {
 	Config        string   `json:"config"`
 	Benchmarks    []string `json:"benchmarks"`
+	Topology      string   `json:"topology,omitempty"`
 	Param         string   `json:"param,omitempty"`
 	Values        []string `json:"values,omitempty"`
 	Scale         string   `json:"scale,omitempty"`
@@ -142,6 +143,11 @@ func validateSpec(s jobSpec) error {
 	if err != nil {
 		return fmt.Errorf("%w (one of %s)", err, strings.Join(grid.ConfigNames(), "|"))
 	}
+	if s.Topology != "" {
+		if err := grid.ApplyTopology(&cfg, s.Topology); err != nil {
+			return err
+		}
+	}
 	sc, err := grid.Scale(s.Scale)
 	if err != nil {
 		return err
@@ -186,9 +192,10 @@ func (c *client) cmdSubmit(ctx context.Context, args []string, out io.Writer) er
 	fs.SetOutput(c.stderr)
 	config := fs.String("config", "", "configuration ("+strings.Join(grid.ConfigNames(), "|")+")")
 	bench := fs.String("bench", "", "comma-separated benchmarks")
+	topo := fs.String("topology", "", "override the memory organization: a named topology ("+strings.Join(grid.TopologyNames(), "|")+") or a raw spec")
 	param := fs.String("param", "", "swept parameter ("+strings.Join(grid.Params(), "|")+")")
 	values := fs.String("values", "", "comma-separated values for -param")
-	scale := fs.String("scale", "test", "run scale (test|bench|paper)")
+	scale := fs.String("scale", "test", "run scale (quick|test|bench|paper)")
 	cores := fs.Int("cores", 8, "simulated cores")
 	pair := fs.Bool("pair", false, "run shared+alone pairs (weighted speedup)")
 	parallel := fs.Bool("parallel", false, "lane-parallel cell execution")
@@ -200,6 +207,7 @@ func (c *client) cmdSubmit(ctx context.Context, args []string, out io.Writer) er
 	spec := jobSpec{
 		Config:        strings.ToLower(strings.TrimSpace(*config)),
 		Benchmarks:    splitList(*bench),
+		Topology:      strings.ToLower(strings.TrimSpace(*topo)),
 		Param:         strings.ToLower(strings.TrimSpace(*param)),
 		Values:        splitList(*values),
 		Scale:         strings.ToLower(*scale),

@@ -126,6 +126,9 @@ func TestSubmitValidatesLocally(t *testing.T) {
 		{"submit", "-config", "rl", "-bench", "mcf", "-param", "warp", "-values", "1"},
 		{"submit", "-config", "rl", "-bench", "mcf", "-param", "robsize", "-values", "lots"},
 		{"submit", "-config", "rl", "-bench", "mcf", "-scale", "huge"},
+		{"submit", "-config", "rl", "-bench", "mcf", "-topology", "no-such-topology"},
+		{"submit", "-config", "rl", "-bench", "mcf", "-topology", "crit:ddr5x4+line:lpddr2x4"},
+		{"submit", "-config", "rl", "-bench", "mcf", "-topology", "crit:rldram3x3+line:lpddr2x4"},
 	} {
 		if code, _, _ := runCtl(t, ts.URL, args...); code == 0 {
 			t.Errorf("bad spec accepted: %v", args)
@@ -143,7 +146,8 @@ func TestSubmitAndWaitAgainstFake(t *testing.T) {
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 			t.Errorf("bad spec from client: %v", err)
 		}
-		if spec.Config != "rl" || len(spec.Benchmarks) != 1 || spec.Param != "robsize" {
+		if spec.Config != "rl" || len(spec.Benchmarks) != 1 || spec.Param != "robsize" ||
+			spec.Topology != "cwf-rd" {
 			t.Errorf("spec mangled in flight: %+v", spec)
 		}
 		w.WriteHeader(http.StatusAccepted)
@@ -160,7 +164,8 @@ func TestSubmitAndWaitAgainstFake(t *testing.T) {
 	defer ts.Close()
 
 	code, out, errb := runCtl(t, ts.URL, "submit",
-		"-config", "rl", "-bench", "libquantum", "-param", "robsize", "-values", "32,64", "-wait")
+		"-config", "rl", "-bench", "libquantum", "-topology", "cwf-rd",
+		"-param", "robsize", "-values", "32,64", "-wait")
 	if code != 0 {
 		t.Fatalf("exit %d, want 0; stderr: %s", code, errb)
 	}

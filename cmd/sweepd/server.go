@@ -33,8 +33,11 @@ import (
 // durable checkpoint record — a job's identity is the hash of its
 // normalized spec, so resubmitting the same sweep is idempotent.
 type JobSpec struct {
-	Config        string   `json:"config"`
-	Benchmarks    []string `json:"benchmarks"`
+	Config     string   `json:"config"`
+	Benchmarks []string `json:"benchmarks"`
+	// Topology, when set, overrides the config's memory organization: a
+	// named topology (grid.TopologyNames) or a raw spec string.
+	Topology      string   `json:"topology,omitempty"`
 	Param         string   `json:"param,omitempty"`
 	Values        []string `json:"values,omitempty"`
 	Scale         string   `json:"scale,omitempty"`
@@ -51,6 +54,7 @@ type JobSpec struct {
 // equivalent submissions hash to the same job ID.
 func (s JobSpec) normalize() JobSpec {
 	s.Config = strings.ToLower(strings.TrimSpace(s.Config))
+	s.Topology = strings.ToLower(strings.TrimSpace(s.Topology))
 	s.Param = strings.ToLower(strings.TrimSpace(s.Param))
 	s.Scale = strings.ToLower(strings.TrimSpace(s.Scale))
 	if s.Scale == "" {
@@ -381,6 +385,11 @@ func buildCells(spec JobSpec) ([]*cell, error) {
 		cfg, err := grid.Config(spec.Config, spec.Cores)
 		if err != nil {
 			return nil, err
+		}
+		if spec.Topology != "" {
+			if err := grid.ApplyTopology(&cfg, spec.Topology); err != nil {
+				return nil, err
+			}
 		}
 		cfg.Parallel = spec.Parallel
 		runScale := scale

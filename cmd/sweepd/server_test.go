@@ -355,6 +355,30 @@ func TestSweepdKillAndResume(t *testing.T) {
 	}
 }
 
+// TestSweepdTopologyJob runs a declarative-topology job end to end:
+// the spec's topology overrides the config's organization, the grid
+// expands and completes, and the folded config name reaches the CSV.
+func TestSweepdTopologyJob(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, filepath.Join(dir, "cache"), filepath.Join(dir, "state"), 2)
+	defer h.srv.Close()
+
+	st := h.submit(t, JobSpec{
+		Config:     "baseline",
+		Topology:   "dram-cache",
+		Benchmarks: []string{"libquantum", "mcf"},
+		Scale:      "test",
+	})
+	st = h.waitDone(t, st.ID)
+	if st.State != "done" || st.Done != 2 {
+		t.Fatalf("topology job did not finish: %+v", st)
+	}
+	csv := h.resultsCSV(t, st.ID)
+	if !strings.Contains(csv, "topology=cache-tier:rldram3x1:cap=64+far-tier:lpddr2x4") {
+		t.Fatalf("results CSV missing folded topology name:\n%s", csv)
+	}
+}
+
 // TestSweepdBadSpecs pins the submit-side validation.
 func TestSweepdBadSpecs(t *testing.T) {
 	dir := t.TempDir()
@@ -369,6 +393,8 @@ func TestSweepdBadSpecs(t *testing.T) {
 		{Config: "rl", Benchmarks: []string{"mcf"}, Values: []string{"32"}},
 		{Config: "rl", Benchmarks: []string{"mcf"}, Param: "warp", Values: []string{"1"}},
 		{Config: "rl", Benchmarks: []string{"mcf"}, Scale: "huge"},
+		{Config: "rl", Benchmarks: []string{"mcf"}, Topology: "no-such-topology"},
+		{Config: "rl", Benchmarks: []string{"mcf"}, Topology: "crit:ddr5x4+line:lpddr2x4"},
 	}
 	for i, spec := range bad {
 		b, _ := json.Marshal(spec)

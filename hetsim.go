@@ -31,7 +31,9 @@ import (
 	"hetsim/internal/core"
 	"hetsim/internal/exp"
 	"hetsim/internal/faults"
+	"hetsim/internal/grid"
 	"hetsim/internal/telemetry"
+	"hetsim/internal/topology"
 	"hetsim/internal/workload"
 )
 
@@ -101,6 +103,31 @@ func HMCHetero(nCores int) Config { return core.HMCHetero(nCores) }
 func PagePlaced(nCores int, hotPages map[uint64]bool) Config {
 	return core.PagePlaced(nCores, hotPages)
 }
+
+// DRAMCached is the 3-tier organization: a fast direct-mapped RLDRAM3
+// DRAM cache of full lines fronting slow LPDDR2 far memory.
+func DRAMCached(nCores int) Config { return core.DRAMCached(nCores) }
+
+// HMCMix is the §10 future-work sketch spelled as a topology: HMC-fast
+// critical-word channels over HMC-lp line channels.
+func HMCMix(nCores int) Config { return core.HMCMix(nCores) }
+
+// Topology is a declarative memory organization: a validated list of
+// channel groups (device kind × count × role × bus wiring). Set
+// Config.Topology to override the legacy organization booleans.
+type Topology = topology.Spec
+
+// ParseTopology resolves a topology string — a named organization
+// (e.g. "dram-cache") or a raw spec ("crit:rldram3x4+line:lpddr2x4") —
+// into a validated, normalized Topology.
+func ParseTopology(s string) (Topology, error) { return grid.ParseTopology(s) }
+
+// TopologyNames lists the named organizations ParseTopology accepts.
+func TopologyNames() []string { return grid.TopologyNames() }
+
+// QuickScale is a CI-sized run: big enough to exercise every path,
+// small enough for a multi-config smoke sweep.
+func QuickScale() Scale { return core.QuickScale() }
 
 // TestScale, BenchScale and PaperScale are the standard run sizes.
 func TestScale() Scale { return core.TestScale() }

@@ -215,8 +215,10 @@ type cwfBackend struct {
 	critCtrl  []*memctrl.Controller
 	critChan  []*dram.Channel
 	sharedCmd *dram.CmdBus
-	wideRank  bool
-	groups    []ChannelGroup
+	// nLine is the line-channel count; line addresses interleave over
+	// it, and the crit sub-channel index folds onto len(critCtrl).
+	nLine  int
+	groups []ChannelGroup
 
 	// lineLn/critLn are the event lanes of the two domains. They default
 	// to the engine's main-queue proxy (serial mode); enableParallel
@@ -251,22 +253,31 @@ func (d cwfReqWordDispatch) OnEvent(arg any) {
 	d.b.sink.onReqWord(entryOf(arg.(*memctrl.Request)))
 }
 
-// cwfOptions tune the critical-channel organization (§4.2.4 ablations).
+// cwfOptions tune the split organization: channel counts per role
+// (from the topology's crit and line groups) and the §4.2.4 ablations.
 type cwfOptions struct {
+	lineChans     int // full-line channels (0 = the Table 1 default of 4)
+	critSubs      int // critical sub-channels (0 = one per line channel)
 	deepSleep     bool
 	privateCmdBus bool // one addr/cmd bus per sub-channel
-	wideRank      bool // one 4-chip 36-bit rank instead of 4 narrow x9 ranks
+	wideRank      bool // one 4-chip 36-bit rank instead of narrow x9 ranks
 }
 
 func newCWF(eng *sim.Engine, lineCfg, critCfg dram.Config, opt cwfOptions) *cwfBackend {
-	b := &cwfBackend{eng: eng, sharedCmd: &dram.CmdBus{}, wideRank: opt.wideRank}
+	if opt.lineChans == 0 {
+		opt.lineChans = Channels
+	}
+	if opt.critSubs == 0 {
+		opt.critSubs = opt.lineChans
+	}
+	b := &cwfBackend{eng: eng, sharedCmd: &dram.CmdBus{}, nLine: opt.lineChans}
 	b.lineLn = eng.MainLane()
 	b.critLn = eng.MainLane()
 	b.critDoneFn = b.critDone
 	b.lineIssuedFn = b.lineIssued
 	b.lineDoneFn = b.lineDone
 	b.reqWordH = cwfReqWordDispatch{b}
-	critSubs := Channels
+	critSubs := opt.critSubs
 	devsPerAccess := 1
 	devsPerRank := 1
 	if opt.wideRank {
@@ -278,7 +289,7 @@ func newCWF(eng *sim.Engine, lineCfg, critCfg dram.Config, opt cwfOptions) *cwfB
 		devsPerAccess = 4
 		devsPerRank = 4
 	}
-	for i := 0; i < Channels; i++ {
+	for i := 0; i < opt.lineChans; i++ {
 		lc := dram.NewChannel(lineCfg, 1, nil)
 		lcc := memctrl.DefaultConfig(lineCfg.Kind)
 		lcc.DeepSleep = opt.deepSleep
@@ -316,18 +327,26 @@ func newCWF(eng *sim.Engine, lineCfg, critCfg dram.Config, opt cwfOptions) *cwfB
 
 func (b *cwfBackend) setSink(s fillSink) { b.sink = s }
 
-// split routes a line address to its line channel, critical sub-channel
-// and local addresses.
+// split routes a line address to its line channel and local address.
 func (b *cwfBackend) split(lineAddr uint64) (ch int, local uint64) {
-	return int(lineAddr % Channels), lineAddr / Channels
+	return int(lineAddr % uint64(b.nLine)), lineAddr / uint64(b.nLine)
 }
 
-// critSub maps a line channel index to its critical sub-channel.
+// critSub maps a line channel index to its critical sub-channel. When
+// fewer sub-channels than line channels exist (the wide rank, or a
+// topology with a reduced crit count), line channels fold onto them
+// round-robin; the counts divide, so the fold is uniform.
 func (b *cwfBackend) critSub(ch int) int {
-	if b.wideRank {
-		return 0
-	}
-	return ch
+	return ch % len(b.critCtrl)
+}
+
+// critLocal is the sub-channel-local address of a line's critical word:
+// line addresses interleave over the sub-channels exactly as they do
+// over the line channels. With one sub-channel per line channel this
+// equals the line-local address; a single wide rank sees the raw line
+// address.
+func (b *cwfBackend) critLocal(lineAddr uint64) uint64 {
+	return lineAddr / uint64(len(b.critCtrl))
 }
 
 func (b *cwfBackend) CanAcceptFill(lineAddr uint64) bool {
@@ -394,15 +413,11 @@ func (b *cwfBackend) IssueFill(e *cache.Entry) bool {
 		return true
 	}
 	cs := b.critSub(chIdx)
-	critLocal := local
-	if b.wideRank {
-		critLocal = e.LineAddr // single sub-channel covers all lines
-	}
 	if !b.lineCtrl[chIdx].CanAcceptRead() || !b.critCtrl[cs].CanAcceptRead() {
 		return false
 	}
 	critReq := b.critPool.Get()
-	critReq.Addr = critLocal
+	critReq.Addr = b.critLocal(e.LineAddr)
 	critReq.Prefetch = e.Prefetch
 	critReq.Ctx = e
 	critReq.OnComplete = b.critDoneFn
@@ -439,12 +454,8 @@ func (b *cwfBackend) IssueWriteback(lineAddr uint64) bool {
 	}
 	if !b.critDead {
 		cs := b.critSub(ch)
-		critLocal := local
-		if b.wideRank {
-			critLocal = lineAddr
-		}
 		critReq := b.critPool.Get()
-		critReq.Addr = critLocal
+		critReq.Addr = b.critLocal(lineAddr)
 		if !b.critCtrl[cs].EnqueueWrite(critReq) {
 			b.critPool.Put(critReq)
 			return false

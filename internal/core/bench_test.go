@@ -42,31 +42,53 @@ func BenchmarkHierarchyReadPath(b *testing.B) {
 }
 
 // TestReadPathSteadyStateAllocs pins the full read path's steady-state
-// allocation behaviour. The only tolerated allocations are the ones the
-// model's bookkeeping owns (map-of-line growth in the reuse census and
-// placement tables); the event kernel itself must contribute zero.
+// allocation behaviour — for the legacy boolean spelling, the explicit
+// topology spelling (same build path, proving the declarative layer
+// adds no per-read garbage), and the DRAM-cache organization whose
+// install-on-miss writes must come from the pool. The only tolerated
+// allocations are the ones the model's bookkeeping owns (map-of-line
+// growth in the reuse census and placement tables); the event kernel
+// itself must contribute zero.
 func TestReadPathSteadyStateAllocs(t *testing.T) {
-	cfg := RL(1)
-	cfg.Prefetch = false
-	eng := &sim.Engine{}
-	mem, err := buildBackend(eng, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	h := newHierarchy(eng, cfg, mem, false)
-	addr := uint64(0)
-	miss := func() {
-		addr += 64 * 1024
-		h.Access(0, addr, false, func() {})
-		eng.RunUntil(eng.Now() + 3000)
-	}
-	for i := 0; i < 512; i++ {
-		miss()
-	}
-	// The reuse-census map and LLC maps keep growing slowly with fresh
-	// lines; allow ~1 object per read for them, no more. A closure or
-	// request allocation regression adds 5+ per read and trips this.
-	if avg := testing.AllocsPerRun(200, miss); avg > 1.5 {
-		t.Fatalf("read path allocates %.2f objects/read in steady state, want <= 1.5", avg)
+	rlTopo := RL(1)
+	spec, _ := rlTopo.EffectiveTopology()
+	rlTopo.Split, rlTopo.CritKind, rlTopo.LineKind = false, 0, 0
+	rlTopo.Topology = &spec
+
+	for _, tc := range []struct {
+		name string
+		cfg  SystemConfig
+	}{
+		{"rl-boolean", RL(1)},
+		{"rl-topology", rlTopo},
+		{"dram-cache", DRAMCached(1)},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Prefetch = false
+			eng := &sim.Engine{}
+			mem, err := buildBackend(eng, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := newHierarchy(eng, cfg, mem, false)
+			addr := uint64(0)
+			miss := func() {
+				addr += 64 * 1024
+				h.Access(0, addr, false, func() {})
+				eng.RunUntil(eng.Now() + 3000)
+			}
+			for i := 0; i < 512; i++ {
+				miss()
+			}
+			// The reuse-census map and LLC maps keep growing slowly with
+			// fresh lines; allow ~1 object per read for them, no more. A
+			// closure or request allocation regression adds 5+ per read
+			// and trips this.
+			if avg := testing.AllocsPerRun(200, miss); avg > 1.5 {
+				t.Fatalf("read path allocates %.2f objects/read in steady state, want <= 1.5", avg)
+			}
+		})
 	}
 }

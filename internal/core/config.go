@@ -19,6 +19,7 @@ import (
 	"hetsim/internal/dram"
 	"hetsim/internal/faults"
 	"hetsim/internal/sim"
+	"hetsim/internal/topology"
 	"hetsim/internal/trace"
 )
 
@@ -69,6 +70,16 @@ type SystemConfig struct {
 	// separate critical channel of CritKind devices.
 	Split    bool
 	CritKind dram.Kind
+
+	// Topology, when set, declares the memory organization explicitly
+	// (see internal/topology) instead of deriving it from the legacy
+	// organization booleans above. It is exclusive with Split,
+	// PagePlacement, PrivateCritCmdBus and WideCritRank: a config sets
+	// either the declarative spec or the flags it replaces, never both.
+	// Legacy configs and their topology spellings hash to the same
+	// ConfigKey (both reduce through EffectiveTopology), so cached runs
+	// are shared across the two paths.
+	Topology *topology.Spec
 
 	Placement Placement
 
@@ -157,19 +168,24 @@ type SystemConfig struct {
 // ConfigKey is a comparable identity for a SystemConfig, fit for use
 // as a memoization map key: two configs with equal keys produce
 // identical simulation results. Every SystemConfig field that affects
-// behaviour appears here — HotPages is reduced to an order-independent
-// digest plus cardinality, and TraceFn is excluded (its doc comment
-// already declares it not part of a configuration's identity). A
-// reflection test (TestConfigKeyCoversSystemConfig) fails the build's
-// test run if a field is added to SystemConfig without a deliberate
-// decision about its place in the key, so new knobs can never silently
-// alias distinct configurations.
+// behaviour appears here — the memory organization (LineKind, Split,
+// CritKind, PrivateCritCmdBus, WideCritRank, or an explicit Topology)
+// collapses into one canonical topology string, HotPages is reduced to
+// an order-independent digest plus cardinality, and TraceFn is excluded
+// (its doc comment already declares it not part of a configuration's
+// identity). A reflection test (TestConfigKeyCoversSystemConfig) fails
+// the build's test run if a field is added to SystemConfig without a
+// deliberate decision about its place in the key, so new knobs can
+// never silently alias distinct configurations.
 type ConfigKey struct {
-	Name                string
-	NCores              int
-	LineKind            dram.Kind
-	Split               bool
-	CritKind            dram.Kind
+	Name   string
+	NCores int
+	// Topology is EffectiveTopology().Canonical(): the organization in
+	// its normalized text form, identical whether the config spelled it
+	// with legacy booleans or an explicit spec. Empty only for the
+	// page-placement system, whose organization the PagePlacement and
+	// HotPages fields identify.
+	Topology            string
 	Placement           Placement
 	Prefetch            bool
 	DeepSleepLP         bool
@@ -178,8 +194,6 @@ type ConfigKey struct {
 	HotPagesDigest      uint64
 	CritParityErrorRate float64
 	Faults              faults.Key
-	PrivateCritCmdBus   bool
-	WideCritRank        bool
 	TrackPerLine        bool
 	LineMapping         Mapping
 	ROBSize             int
@@ -190,12 +204,14 @@ type ConfigKey struct {
 
 // Key derives the comparable identity of the configuration.
 func (c SystemConfig) Key() ConfigKey {
+	var topo string
+	if spec, ok := c.EffectiveTopology(); ok {
+		topo = spec.Canonical()
+	}
 	return ConfigKey{
 		Name:                c.Name,
 		NCores:              c.NCores,
-		LineKind:            c.LineKind,
-		Split:               c.Split,
-		CritKind:            c.CritKind,
+		Topology:            topo,
 		Placement:           c.Placement,
 		Prefetch:            c.Prefetch,
 		DeepSleepLP:         c.DeepSleepLP,
@@ -204,8 +220,6 @@ func (c SystemConfig) Key() ConfigKey {
 		HotPagesDigest:      hotPagesDigest(c.HotPages),
 		CritParityErrorRate: c.CritParityErrorRate,
 		Faults:              c.Faults.Key(),
-		PrivateCritCmdBus:   c.PrivateCritCmdBus,
-		WideCritRank:        c.WideCritRank,
 		TrackPerLine:        c.TrackPerLine,
 		LineMapping:         c.LineMapping,
 		ROBSize:             c.ROBSize,
@@ -213,6 +227,36 @@ func (c SystemConfig) Key() ConfigKey {
 		ClosePageLines:      c.ClosePageLines,
 		Seed:                c.Seed,
 	}
+}
+
+// EffectiveTopology resolves the memory organization this config
+// builds, whether declared explicitly (Topology) or through the legacy
+// booleans. It reports ok=false only for the §7.1 page-placement
+// system, whose hot-page routing is a placement policy rather than a
+// channel topology (PagePlacement and HotPages stay in the key for
+// it). The result is normalized, so its Canonical() string is the
+// organization's identity.
+func (c SystemConfig) EffectiveTopology() (topology.Spec, bool) {
+	if c.Topology != nil {
+		return c.Topology.Normalized(), true
+	}
+	if c.PagePlacement {
+		return topology.Spec{}, false
+	}
+	if c.Split {
+		critN := Channels
+		bus := topology.BusDefault
+		if c.PrivateCritCmdBus {
+			bus = topology.BusPrivate
+		}
+		if c.WideCritRank {
+			// One wide rank is a single channel; the shared/private
+			// command-bus distinction vanishes with it.
+			critN, bus = 1, topology.BusDefault
+		}
+		return topology.CWF(c.CritKind, critN, c.LineKind, Channels, bus, c.WideCritRank), true
+	}
+	return topology.Unified(c.LineKind, Channels), true
 }
 
 // hotPagesDigest folds the hot-page set into an order-independent
@@ -281,24 +325,54 @@ func (c SystemConfig) Validate() error {
 	if c.NCores <= 0 || c.NCores > 64 {
 		return fmt.Errorf("core: bad core count %d", c.NCores)
 	}
-	if c.Split && c.PagePlacement {
-		return fmt.Errorf("core: split CWF and page placement are exclusive")
-	}
-	if c.Split && c.CritKind == c.LineKind && c.CritKind == dram.LPDDR2 {
-		return fmt.Errorf("core: LPDDR2 critical channel is not a modelled design point")
-	}
-	lineCfg, err := lineConfigFor(c.LineKind)
-	if err != nil {
-		return err
-	}
-	if err := lineCfg.Validate(); err != nil {
-		return err
-	}
-	if c.Split {
-		switch c.CritKind {
-		case dram.RLDRAM3, dram.DDR3, dram.HMCFast:
-		default:
-			return fmt.Errorf("core: unsupported critical channel kind %v", c.CritKind)
+	if c.Topology != nil {
+		// The declarative spec replaces the legacy organization flags;
+		// mixing the two would leave it ambiguous which one builds.
+		if c.Split || c.PagePlacement || c.PrivateCritCmdBus || c.WideCritRank {
+			return fmt.Errorf("core: explicit Topology is exclusive with Split/PagePlacement/PrivateCritCmdBus/WideCritRank")
+		}
+		if err := c.Topology.Validate(); err != nil {
+			return err
+		}
+		for _, g := range c.Topology.Groups {
+			if g.Role == topology.RoleCrit {
+				switch g.Kind {
+				case dram.RLDRAM3, dram.DDR3, dram.HMCFast:
+				default:
+					return fmt.Errorf("core: unsupported critical channel kind %v", g.Kind)
+				}
+				continue
+			}
+			// Every full-line tier (line, unified, cache, far) must be a
+			// family the line-channel builder knows.
+			cfg, err := lineConfigFor(g.Kind)
+			if err != nil {
+				return err
+			}
+			if err := cfg.Validate(); err != nil {
+				return err
+			}
+		}
+	} else {
+		if c.Split && c.PagePlacement {
+			return fmt.Errorf("core: split CWF and page placement are exclusive")
+		}
+		if c.Split && c.CritKind == c.LineKind && c.CritKind == dram.LPDDR2 {
+			return fmt.Errorf("core: LPDDR2 critical channel is not a modelled design point")
+		}
+		lineCfg, err := lineConfigFor(c.LineKind)
+		if err != nil {
+			return err
+		}
+		if err := lineCfg.Validate(); err != nil {
+			return err
+		}
+		if c.Split {
+			switch c.CritKind {
+			case dram.RLDRAM3, dram.DDR3, dram.HMCFast:
+			default:
+				return fmt.Errorf("core: unsupported critical channel kind %v", c.CritKind)
+			}
 		}
 	}
 	switch c.Placement {
@@ -387,6 +461,25 @@ func PagePlaced(nCores int, hot map[uint64]bool) SystemConfig {
 		LineKind: dram.LPDDR2, PagePlacement: true, HotPages: hot, Prefetch: true}
 }
 
+// DRAMCached is the topology-native 3-tier organization: one RLDRAM3
+// channel holding a 64MB direct-mapped line cache (tags-with-data, per
+// the Alloy-cache controller model) fronting four slow LPDDR2 far
+// channels.
+func DRAMCached(nCores int) SystemConfig {
+	spec := topology.DRAMCache(dram.RLDRAM3, 1, 64, dram.LPDDR2, 4)
+	return SystemConfig{Name: "DRAM-cache", NCores: nCores,
+		Topology: &spec, Prefetch: true}
+}
+
+// HMCMix is the §10 HMC-fast/HMC-lp mix spelled as an explicit
+// topology: behaviourally the same organization HMCHetero derives from
+// the legacy booleans, declared through the composable path.
+func HMCMix(nCores int) SystemConfig {
+	spec := topology.CWF(dram.HMCFast, Channels, dram.HMCLP, Channels, topology.BusDefault, false)
+	return SystemConfig{Name: "HMC-mix", NCores: nCores,
+		Topology: &spec, Prefetch: true}
+}
+
 // RunScale sizes a run.
 type RunScale struct {
 	// PrewarmOps functionally replays this many memory operations per
@@ -410,6 +503,12 @@ type RunScale struct {
 // TestScale is the fast scale used by unit tests.
 func TestScale() RunScale {
 	return RunScale{PrewarmOps: 20_000, WarmupReads: 500, MeasureReads: 3000, MaxCycles: 30_000_000}
+}
+
+// QuickScale is the smallest end-to-end scale: a smoke run for CI
+// scenario targets (`make topologies`) and -scale quick on the CLIs.
+func QuickScale() RunScale {
+	return RunScale{PrewarmOps: 5_000, WarmupReads: 200, MeasureReads: 1000, MaxCycles: 20_000_000}
 }
 
 // BenchScale is used by the bench harness figures.

@@ -10,6 +10,7 @@ import (
 	"hetsim/internal/sim"
 	"hetsim/internal/stats"
 	"hetsim/internal/telemetry"
+	"hetsim/internal/topology"
 	"hetsim/internal/trace"
 )
 
@@ -67,6 +68,13 @@ type Hierarchy struct {
 	eng *sim.Engine
 	cfg SystemConfig
 
+	// split reports whether the effective topology is the CWF split
+	// organization — derived from EffectiveTopology at construction so
+	// a config declaring the split via an explicit Topology spec drives
+	// the same paths (placement, parity, crit-fault injection, adaptive
+	// re-placement) as one using the legacy Split boolean.
+	split bool
+
 	l1s  []*cache.Cache
 	l2   *cache.Cache
 	mshr *cache.MSHR
@@ -93,8 +101,8 @@ type Hierarchy struct {
 	wbQueue []uint64
 	wbArmed bool
 
-	wbH  wbDrainDispatch
-	lrH  lineReadyDispatch
+	wbH wbDrainDispatch
+	lrH lineReadyDispatch
 
 	recent     map[uint64]fillRec
 	recentRing []uint64
@@ -112,8 +120,10 @@ const (
 )
 
 func newHierarchy(eng *sim.Engine, cfg SystemConfig, mem backend, shared bool) *Hierarchy {
+	spec, ok := cfg.EffectiveTopology()
 	h := &Hierarchy{
 		eng: eng, cfg: cfg, mem: mem, sharedSpace: shared,
+		split:  ok && spec.Shape() == topology.ShapeCWF,
 		l2:     cache.New(4*1024*1024, 8),
 		mshr:   cache.NewMSHR(MSHRCapacity),
 		placed: make(map[uint64]uint8),
@@ -154,7 +164,7 @@ func (d wbDrainDispatch) OnEvent(any) { d.h.drainWB() }
 
 // placedWord reports which word of a line the fast path stores.
 func (h *Hierarchy) placedWord(lineAddr uint64, reqWord int) int {
-	if !h.cfg.Split {
+	if !h.split {
 		// Conventional systems burst-reorder around the requested word.
 		return reqWord
 	}
@@ -244,7 +254,7 @@ func (h *Hierarchy) Access(coreID int, addr uint64, store bool, wake func()) cpu
 	// New fill required. If the fault layer has declared the critical
 	// DIMM dead since the last fill, degrade the backend first so the
 	// capacity checks below see the line-only organization.
-	if h.inj != nil && h.cfg.Split && !h.degraded && h.inj.CritDead(h.eng.Now()) {
+	if h.inj != nil && h.split && !h.degraded && h.inj.CritDead(h.eng.Now()) {
 		h.degraded = true
 		h.mem.DegradeCrit()
 	}
@@ -305,7 +315,7 @@ func (h *Hierarchy) wordAvailable(e *cache.Entry, word int) bool {
 func (h *Hierarchy) onCrit(e *cache.Entry) {
 	e.CritArrived = true
 	e.CritAt = int64(h.eng.Now())
-	if h.cfg.Split && h.cfg.CritParityErrorRate > 0 && h.rng.Bool(h.cfg.CritParityErrorRate) {
+	if h.split && h.cfg.CritParityErrorRate > 0 && h.rng.Bool(h.cfg.CritParityErrorRate) {
 		// §4.2.3: parity error — withhold the word until SECDED over
 		// the full line can correct it.
 		e.ParityHeld = true
@@ -313,7 +323,7 @@ func (h *Hierarchy) onCrit(e *cache.Entry) {
 		h.maybeFinish(e)
 		return
 	}
-	if h.inj != nil && h.cfg.Split {
+	if h.inj != nil && h.split {
 		switch h.inj.CritRead(h.eng.Now(), e.LineAddr) {
 		case faults.CritHeld:
 			// Injected corruption dirtied the per-byte parity: withhold
@@ -488,7 +498,7 @@ func (h *Hierarchy) handleL2Eviction(ev cache.Eviction) {
 	// Adaptive placement re-organizes the line on its way to DRAM
 	// (§4.2.5): the predicted critical word becomes the placed word.
 	// Lines without a valid prediction keep their current layout.
-	if h.cfg.Split && h.cfg.Placement == PlaceAdaptive && ev.Meta&metaValid != 0 {
+	if h.split && h.cfg.Placement == PlaceAdaptive && ev.Meta&metaValid != 0 {
 		if w := ev.Meta & metaWord; w == 0 {
 			delete(h.placed, ev.LineAddr)
 		} else {
@@ -609,7 +619,7 @@ func (h *Hierarchy) Prewarm(coreID int, addr uint64, store bool) {
 		return
 	}
 	ev, evicted := h.l2.Insert(la, store, metaValid|uint8(word))
-	if evicted && ev.Dirty && h.cfg.Split && h.cfg.Placement == PlaceAdaptive &&
+	if evicted && ev.Dirty && h.split && h.cfg.Placement == PlaceAdaptive &&
 		ev.Meta&metaValid != 0 {
 		// Checkpoint restore includes the DRAM layout the write-backs
 		// of the replayed history would have left behind (§4.2.5).

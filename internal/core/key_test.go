@@ -6,6 +6,7 @@ import (
 
 	"hetsim/internal/dram"
 	"hetsim/internal/faults"
+	"hetsim/internal/topology"
 )
 
 // TestConfigKeyCoversSystemConfig enforces by reflection that every
@@ -13,15 +14,37 @@ import (
 // SystemConfig without updating this mapping (and Key) fails here, so
 // the memo cache can never silently alias two distinct configurations
 // the way the old fmt.Sprint string key could.
+//
+// Exclusion rules — a SystemConfig field may map to nil (no key
+// presence) only if one of these holds, stated next to the entry:
+//
+//  1. Execution hook: the field observes or controls a run without
+//     changing a completed run's Results (TraceFn, Cancel, Parallel).
+//  2. Collapsed representation: the field's behavioural content is
+//     carried by another key field — it must be listed as mapping to
+//     that field, never to nil (the organization fields → Topology,
+//     HotPages → its digest pair).
+//
+// Anything else MUST appear in the key under its own name. When in
+// doubt, key it: a spurious key field costs a duplicate cache entry, a
+// missing one silently aliases distinct configurations.
 func TestConfigKeyCoversSystemConfig(t *testing.T) {
-	// How each SystemConfig field appears in ConfigKey. Empty string =
-	// deliberately excluded (must be justified in the comment).
+	// How each SystemConfig field appears in ConfigKey. nil =
+	// deliberately excluded per the rules above (justified in the
+	// comment); multiple targets = collapsed representation.
 	mapping := map[string][]string{
-		"Name":                {"Name"},
-		"NCores":              {"NCores"},
-		"LineKind":            {"LineKind"},
-		"Split":               {"Split"},
-		"CritKind":            {"CritKind"},
+		"Name":   {"Name"},
+		"NCores": {"NCores"},
+		// The five legacy organization fields and the explicit spec all
+		// collapse into the canonical topology string: EffectiveTopology
+		// reduces either spelling to the same normalized form, which is
+		// exactly why boolean and topology configs share cache entries.
+		"LineKind":            {"Topology"},
+		"Split":               {"Topology"},
+		"CritKind":            {"Topology"},
+		"PrivateCritCmdBus":   {"Topology"},
+		"WideCritRank":        {"Topology"},
+		"Topology":            {"Topology"},
 		"Placement":           {"Placement"},
 		"Prefetch":            {"Prefetch"},
 		"DeepSleepLP":         {"DeepSleepLP"},
@@ -29,8 +52,6 @@ func TestConfigKeyCoversSystemConfig(t *testing.T) {
 		"HotPages":            {"HotPagesLen", "HotPagesDigest"},
 		"CritParityErrorRate": {"CritParityErrorRate"},
 		"Faults":              {"Faults"},
-		"PrivateCritCmdBus":   {"PrivateCritCmdBus"},
-		"WideCritRank":        {"WideCritRank"},
 		"TrackPerLine":        {"TrackPerLine"},
 		"LineMapping":         {"LineMapping"},
 		"ROBSize":             {"ROBSize"},
@@ -63,7 +84,8 @@ func TestConfigKeyCoversSystemConfig(t *testing.T) {
 		targets, ok := mapping[name]
 		if !ok {
 			t.Errorf("SystemConfig.%s is not accounted for in ConfigKey: "+
-				"add it to SystemConfig.Key (or deliberately exclude it here)", name)
+				"add it to SystemConfig.Key (or deliberately exclude it here "+
+				"under the exclusion rules)", name)
 			continue
 		}
 		for _, kf := range targets {
@@ -71,6 +93,11 @@ func TestConfigKeyCoversSystemConfig(t *testing.T) {
 				t.Errorf("SystemConfig.%s maps to missing ConfigKey field %s", name, kf)
 			}
 			covered[kf] = true
+		}
+	}
+	for name := range mapping {
+		if _, ok := cfgT.FieldByName(name); !ok {
+			t.Errorf("mapping entry %s names no SystemConfig field (stale entry?)", name)
 		}
 	}
 	for kf := range keyFields {
@@ -96,6 +123,11 @@ func TestConfigKeyDistinguishes(t *testing.T) {
 	add("LineKind", func(c *SystemConfig) { c.LineKind = dram.DDR3 })
 	add("Split", func(c *SystemConfig) { c.Split = false })
 	add("CritKind", func(c *SystemConfig) { c.CritKind = dram.DDR3 })
+	add("Topology", func(c *SystemConfig) {
+		c.Split, c.CritKind = false, 0
+		spec := topology.DRAMCache(dram.RLDRAM3, 1, 64, dram.LPDDR2, 4)
+		c.Topology = &spec
+	})
 	add("Placement", func(c *SystemConfig) { c.Placement = PlaceOracle })
 	add("Prefetch", func(c *SystemConfig) { c.Prefetch = false })
 	add("DeepSleepLP", func(c *SystemConfig) { c.DeepSleepLP = true })
@@ -131,6 +163,49 @@ func TestConfigKeyDistinguishes(t *testing.T) {
 	b.FCFS = true
 	if a.Key() == b.Key() {
 		t.Error("FCFS on/off configs collide")
+	}
+}
+
+// TestConfigKeySharedAcrossSpellings pins the cache-sharing property
+// the topology layer was built around: a config declared with the
+// legacy booleans and the same organization declared as an explicit
+// topology spec produce the SAME key, so memoized and stored runs are
+// shared across the two paths.
+func TestConfigKeySharedAcrossSpellings(t *testing.T) {
+	toTopology := func(c SystemConfig) SystemConfig {
+		spec, ok := c.EffectiveTopology()
+		if !ok {
+			t.Fatalf("%s: no effective topology", c.Name)
+		}
+		c.Split, c.CritKind, c.LineKind = false, 0, 0
+		c.PrivateCritCmdBus, c.WideCritRank = false, false
+		c.Topology = &spec
+		return c
+	}
+	cfgs := []SystemConfig{Baseline(8), HomogeneousLPDDR2(8), HomogeneousRLDRAM3(8),
+		RL(8), RD(8), DL(8), HMCHetero(8)}
+	priv := RL(8)
+	priv.PrivateCritCmdBus = true
+	wide := RL(8)
+	wide.WideCritRank = true
+	cfgs = append(cfgs, priv, wide)
+	for _, legacy := range cfgs {
+		topo := toTopology(legacy)
+		if err := topo.Validate(); err != nil {
+			t.Errorf("%s: topology spelling invalid: %v", legacy.Name, err)
+			continue
+		}
+		if legacy.Key() != topo.Key() {
+			t.Errorf("%s: boolean and topology spellings key differently:\n  %+v\n  %+v",
+				legacy.Name, legacy.Key(), topo.Key())
+		}
+	}
+	// And HMC-mix (explicit) matches HMC-hetero (booleans) on the
+	// Topology component — only Name separates them.
+	a, b := HMCHetero(8).Key(), HMCMix(8).Key()
+	a.Name, b.Name = "", ""
+	if a != b {
+		t.Errorf("HMC-hetero and HMC-mix organizations key differently: %+v vs %+v", a, b)
 	}
 }
 

@@ -72,6 +72,11 @@ func TestSystemParallelDifferential(t *testing.T) {
 		{"hmc-hetero", HMCHetero(2), "libquantum", true},
 		{"rl-crit-faults", faulty, "libquantum", true},
 		{"rl-dimm-dead", dimmDead, "libquantum", true},
+		// Topology-only organizations: the HMC mix is CWF-shaped and
+		// lane-eligible; the DRAM-cache backend is serial-only and must
+		// fall back byte-identically.
+		{"hmc-mix-topology", HMCMix(2), "libquantum", true},
+		{"dram-cache-falls-back", DRAMCached(2), "mcf", false},
 	}
 	for _, tc := range cases {
 		tc := tc

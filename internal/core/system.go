@@ -11,6 +11,7 @@ import (
 	"hetsim/internal/sim"
 	"hetsim/internal/stats"
 	"hetsim/internal/telemetry"
+	"hetsim/internal/topology"
 	"hetsim/internal/workload"
 )
 
@@ -254,44 +255,76 @@ func applyLineMapping(mem backend, m Mapping) {
 	}
 }
 
-// buildBackend assembles the memory organization for a config.
+// buildBackend assembles the memory organization for a config by
+// iterating the groups of its effective topology. The §7.1
+// page-placement system is a placement policy over a fixed channel set
+// rather than a topology; it keeps its dedicated builder.
 func buildBackend(eng *sim.Engine, cfg SystemConfig) (backend, error) {
-	switch {
-	case cfg.PagePlacement:
+	if cfg.PagePlacement {
 		return newPagePlaced(eng, cfg.HotPages, cfg.DeepSleepLP), nil
-	case cfg.Split:
-		lineCfg, err := lineConfigFor(cfg.LineKind)
+	}
+	spec, _ := cfg.EffectiveTopology()
+	switch spec.Shape() {
+	case topology.ShapeCWF:
+		crit, _ := spec.Group(topology.RoleCrit)
+		line, _ := spec.Group(topology.RoleLine)
+		lineCfg, err := lineConfigFor(line.Kind)
 		if err != nil {
 			return nil, err
 		}
 		if cfg.ClosePageLines {
 			lineCfg.Policy = dram.ClosePage
 		}
-		var critCfg dram.Config
-		switch cfg.CritKind {
-		case dram.RLDRAM3:
-			critCfg = dram.RLDRAM3WordConfig()
-		case dram.DDR3:
-			critCfg = dram.DDR3WordConfig()
-		case dram.HMCFast:
-			critCfg = dram.HMCFastWordConfig()
-		default:
-			return nil, fmt.Errorf("core: unsupported critical channel kind %v", cfg.CritKind)
+		critCfg, err := critConfigFor(crit.Kind)
+		if err != nil {
+			return nil, err
 		}
 		return newCWF(eng, lineCfg, critCfg, cwfOptions{
+			lineChans:     line.Count,
+			critSubs:      crit.Count,
 			deepSleep:     cfg.DeepSleepLP,
-			privateCmdBus: cfg.PrivateCritCmdBus,
-			wideRank:      cfg.WideCritRank,
+			privateCmdBus: crit.Bus == topology.BusPrivate,
+			wideRank:      crit.Wide,
 		}), nil
-	default:
-		lineCfg, err := lineConfigFor(cfg.LineKind)
+	case topology.ShapeCache:
+		cacheG, _ := spec.Group(topology.RoleCacheTier)
+		farG, _ := spec.Group(topology.RoleFarTier)
+		cacheCfg, err := lineConfigFor(cacheG.Kind)
+		if err != nil {
+			return nil, err
+		}
+		farCfg, err := lineConfigFor(farG.Kind)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.ClosePageLines {
+			farCfg.Policy = dram.ClosePage
+		}
+		return newDRAMCache(eng, cacheCfg, cacheG.Count, cacheG.CapacityMB, farCfg, farG.Count, cfg.DeepSleepLP), nil
+	default: // ShapeUnified
+		g := spec.Groups[0]
+		lineCfg, err := lineConfigFor(g.Kind)
 		if err != nil {
 			return nil, err
 		}
 		if cfg.ClosePageLines {
 			lineCfg.Policy = dram.ClosePage
 		}
-		return newHomogeneous(eng, lineCfg, Channels, cfg.DeepSleepLP), nil
+		return newHomogeneous(eng, lineCfg, g.Count, cfg.DeepSleepLP), nil
+	}
+}
+
+// critConfigFor selects the critical-word device config for a family.
+func critConfigFor(kind dram.Kind) (dram.Config, error) {
+	switch kind {
+	case dram.RLDRAM3:
+		return dram.RLDRAM3WordConfig(), nil
+	case dram.DDR3:
+		return dram.DDR3WordConfig(), nil
+	case dram.HMCFast:
+		return dram.HMCFastWordConfig(), nil
+	default:
+		return dram.Config{}, fmt.Errorf("core: unsupported critical channel kind %v", kind)
 	}
 }
 

@@ -75,6 +75,9 @@ func TestSystemTickSkipDifferential(t *testing.T) {
 		{"dl-lpddr-line", DL(2), "libquantum"},
 		{"rl-crit-faults", faulty, "libquantum"},
 		{"rl-dimm-dead", dimmDead, "libquantum"},
+		// Topology-only organizations.
+		{"hmc-mix-topology", HMCMix(2), "libquantum"},
+		{"dram-cache-tiers", DRAMCached(2), "mcf"},
 	}
 	for _, tc := range cases {
 		tc := tc

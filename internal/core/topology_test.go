@@ -1,0 +1,295 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hetsim/internal/cache"
+	"hetsim/internal/dram"
+	"hetsim/internal/faults"
+	"hetsim/internal/sim"
+	"hetsim/internal/trace"
+)
+
+// Boolean-vs-topology differential: every legacy named configuration is
+// rerun with its organization spelled as an explicit topology spec
+// (legacy booleans cleared), and everything observable — summary
+// Results, the full fill trace, and the epoch JSONL stream — must be
+// byte-identical between the two spellings. This is the contract that
+// makes the declarative layer a refactor rather than a fork: the
+// topology path is THE build path, the booleans merely name presets.
+
+// runTopoPath runs one config/benchmark and captures results, the fill
+// trace, and the serialized epoch stream.
+func runTopoPath(t *testing.T, cfg SystemConfig, bench string) (Results, []trace.Record, []byte) {
+	t.Helper()
+	var recs []trace.Record
+	cfg.TraceFn = func(r trace.Record) { recs = append(recs, r) }
+	sys, err := NewSystem(cfg, mustSpec(t, bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Run(RunScale{WarmupReads: 150, MeasureReads: 900,
+		MaxCycles: 20_000_000, EpochInterval: 20_000})
+	var buf bytes.Buffer
+	if res.Epochs != nil {
+		if err := res.Epochs.WriteJSONL(&buf, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res.Epochs = nil // compared via the serialized stream
+	return res, recs, buf.Bytes()
+}
+
+// topologySpelling rewrites a legacy config into its explicit-topology
+// form: the derived spec is pinned and every boolean it subsumes is
+// cleared, so the build can only go through the declarative path.
+func topologySpelling(t *testing.T, cfg SystemConfig) SystemConfig {
+	t.Helper()
+	spec, ok := cfg.EffectiveTopology()
+	if !ok {
+		t.Fatalf("%s has no effective topology", cfg.Name)
+	}
+	cfg.Split, cfg.LineKind, cfg.CritKind = false, 0, 0
+	cfg.PrivateCritCmdBus, cfg.WideCritRank = false, false
+	cfg.Topology = &spec
+	return cfg
+}
+
+func TestSystemTopologyDifferential(t *testing.T) {
+	privBus := RL(2)
+	privBus.PrivateCritCmdBus = true
+	wide := RL(2)
+	wide.WideCritRank = true
+	closePage := RL(2)
+	closePage.ClosePageLines = true
+	deepSleep := RL(2)
+	deepSleep.DeepSleepLP = true
+	adaptive := RL(2)
+	adaptive.Placement = PlaceAdaptive
+	oracle := RL(2)
+	oracle.Placement = PlaceOracle
+	parity := RL(2)
+	parity.CritParityErrorRate = 0.02
+	faulty := RL(2)
+	faulty.Faults.Crit.TransientBit = 0.05
+	faulty.Faults.Seed = 5
+	dimmDead := RL(2)
+	dimmDead.Faults.Schedule = []faults.Event{
+		{At: 40_000, Kind: faults.DIMMDead, Target: faults.Crit, Channel: -1, Chip: -1}}
+
+	cases := []struct {
+		name  string
+		cfg   SystemConfig
+		bench string
+	}{
+		{"baseline-ddr3", Baseline(2), "libquantum"},
+		{"lpddr2-homog", HomogeneousLPDDR2(2), "libquantum"},
+		{"rldram3-homog", HomogeneousRLDRAM3(2), "libquantum"},
+		{"rl", RL(2), "libquantum"},
+		{"rd", RD(2), "mcf"},
+		{"dl", DL(2), "libquantum"},
+		{"hmc-hetero", HMCHetero(2), "libquantum"},
+		{"rl-private-crit-cmdbus", privBus, "libquantum"},
+		{"rl-wide-rank", wide, "libquantum"},
+		{"rl-close-page-lines", closePage, "libquantum"},
+		{"rl-deep-sleep", deepSleep, "libquantum"},
+		// Placement, parity and fault paths key off the hierarchy's
+		// effective-split property; these pin that an explicit topology
+		// drives them identically to the Split boolean.
+		{"rl-adaptive", adaptive, "mcf"},
+		{"rl-oracle", oracle, "libquantum"},
+		{"rl-crit-parity", parity, "libquantum"},
+		{"rl-crit-faults", faulty, "libquantum"},
+		{"rl-dimm-dead", dimmDead, "libquantum"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			topo := topologySpelling(t, tc.cfg)
+			if err := topo.Validate(); err != nil {
+				t.Fatalf("topology spelling invalid: %v", err)
+			}
+			// The two spellings must share one cache identity.
+			if tc.cfg.Key() != topo.Key() {
+				t.Fatalf("keys differ between spellings:\nboolean  %+v\ntopology %+v",
+					tc.cfg.Key(), topo.Key())
+			}
+			refRes, refRecs, refEpochs := runTopoPath(t, tc.cfg, tc.bench)
+			gotRes, gotRecs, gotEpochs := runTopoPath(t, topo, tc.bench)
+			if !reflect.DeepEqual(refRes, gotRes) {
+				t.Errorf("results diverged:\nboolean  %+v\ntopology %+v", refRes, gotRes)
+			}
+			if len(refRecs) != len(gotRecs) {
+				t.Fatalf("trace length diverged: boolean %d, topology %d records",
+					len(refRecs), len(gotRecs))
+			}
+			for i := range refRecs {
+				if refRecs[i] != gotRecs[i] {
+					t.Fatalf("trace diverged at record %d:\nboolean  %+v\ntopology %+v",
+						i, refRecs[i], gotRecs[i])
+				}
+			}
+			if !bytes.Equal(refEpochs, gotEpochs) {
+				t.Errorf("epoch streams diverged (%d vs %d bytes)", len(refEpochs), len(gotEpochs))
+			}
+		})
+	}
+}
+
+// TestTopologyScenariosRun smoke-runs the two organizations only the
+// declarative layer can express end-to-end: the DRAM-cache tiering and
+// the §10 HMC mix.
+func TestTopologyScenariosRun(t *testing.T) {
+	for _, tc := range []struct {
+		cfg   SystemConfig
+		bench string
+	}{
+		{DRAMCached(2), "mcf"},
+		{HMCMix(2), "libquantum"},
+	} {
+		t.Run(tc.cfg.Name, func(t *testing.T) {
+			sys, err := NewSystem(tc.cfg, mustSpec(t, tc.bench))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := sys.Run(RunScale{WarmupReads: 150, MeasureReads: 600,
+				MaxCycles: 20_000_000, EpochInterval: 20_000})
+			if res.DemandReads < 600 {
+				t.Errorf("run truncated: %d demand reads", res.DemandReads)
+			}
+			if res.Epochs == nil || res.Epochs.NumRows() == 0 {
+				t.Error("no telemetry epochs recorded")
+			}
+			if res.DRAMEnergyMJ <= 0 {
+				t.Errorf("no DRAM energy accounted: %v", res.DRAMEnergyMJ)
+			}
+		})
+	}
+}
+
+// newTestDRAMCache builds a small cache-tier/far-tier backend for
+// driving directly: one RLDRAM3 cache channel holding 1 MB of lines
+// over four LPDDR2 far channels.
+func newTestDRAMCache(eng *sim.Engine) *dramCacheBackend {
+	return newDRAMCache(eng, dram.RLDRAM3Config(), 1, 1, dram.LPDDR2Config(), Channels, false)
+}
+
+// TestDRAMCacheMissInstallsThenHits exercises the core cache-tier
+// mechanics: a first fill misses (far tier serves it, the line is
+// installed), and a repeat fill of the same line hits the cache tier —
+// faster, and served by the cache channel.
+func TestDRAMCacheMissInstallsThenHits(t *testing.T) {
+	eng := &sim.Engine{}
+	b := newTestDRAMCache(eng)
+	var critAt, lineAt sim.Cycle
+	b.setSink(&testSink{
+		onCritF: func(*cache.Entry) { critAt = eng.Now() },
+		onLineF: func(*cache.Entry) { lineAt = eng.Now() },
+	})
+
+	if b.resident(7) {
+		t.Fatal("line 7 resident before any access")
+	}
+	start := eng.Now()
+	fill(t, b, 7)
+	eng.RunUntil(1_000_000)
+	missLatency := lineAt - start
+	if missLatency <= 0 || critAt <= start || critAt > lineAt {
+		t.Fatalf("miss delivery broken: crit %d line %d start %d", critAt, lineAt, start)
+	}
+	if !b.resident(7) {
+		t.Fatal("line 7 not installed after miss")
+	}
+	if got := b.farChan[int(7%uint64(Channels))].Stat.Reads; got != 1 {
+		t.Fatalf("far channel reads = %d, want 1", got)
+	}
+	if got := b.cacheChan[0].Stat.Writes; got != 1 {
+		t.Fatalf("cache insertion writes = %d, want 1", got)
+	}
+
+	start = eng.Now()
+	fill(t, b, 7)
+	eng.RunUntil(2_000_000)
+	hitLatency := lineAt - start
+	if got := b.cacheChan[0].Stat.Reads; got != 1 {
+		t.Fatalf("cache channel reads = %d, want 1 (hit not routed to cache tier)", got)
+	}
+	// The whole point of the tier: a resident line comes back much
+	// faster than a far-tier access.
+	if hitLatency >= missLatency {
+		t.Fatalf("hit latency %d not below miss latency %d", hitLatency, missLatency)
+	}
+}
+
+// TestDRAMCacheConflictEvicts pins direct-mapped behavior: two lines
+// mapping to the same set displace each other, and eviction is a tag
+// overwrite (no extra far-tier writes under write-through).
+func TestDRAMCacheConflictEvicts(t *testing.T) {
+	eng := &sim.Engine{}
+	b := newTestDRAMCache(eng)
+	b.setSink(&testSink{})
+
+	sets := uint64(len(b.tags))
+	fill(t, b, 3)
+	eng.RunUntil(1_000_000)
+	if !b.resident(3) {
+		t.Fatal("line 3 not installed")
+	}
+	// The conflicting line: same set, different tag.
+	fill(t, b, 3+sets)
+	eng.RunUntil(2_000_000)
+	if !b.resident(3 + sets) {
+		t.Fatal("conflicting line not installed")
+	}
+	if b.resident(3) {
+		t.Fatal("evicted line still reported resident")
+	}
+	var farWrites uint64
+	for _, ch := range b.farChan {
+		farWrites += ch.Stat.Writes
+	}
+	if farWrites != 0 {
+		t.Fatalf("eviction generated %d far-tier writes under write-through", farWrites)
+	}
+}
+
+// TestDRAMCacheWritebackWritesThrough pins the write policy: the far
+// tier always takes a writeback, and a resident copy is updated in
+// place rather than invalidated.
+func TestDRAMCacheWritebackWritesThrough(t *testing.T) {
+	eng := &sim.Engine{}
+	b := newTestDRAMCache(eng)
+	b.setSink(&testSink{})
+
+	fill(t, b, 9)
+	eng.RunUntil(1_000_000)
+	if !b.resident(9) {
+		t.Fatal("line 9 not installed")
+	}
+	cacheWrites := b.cacheChan[0].Stat.Writes
+	if !b.IssueWriteback(9) {
+		t.Fatal("writeback of resident line rejected")
+	}
+	eng.RunUntil(2_000_000)
+	farCh, _ := b.far(9)
+	if got := b.farChan[farCh].Stat.Writes; got != 1 {
+		t.Fatalf("far-tier writes = %d, want 1", got)
+	}
+	if got := b.cacheChan[0].Stat.Writes; got != cacheWrites+1 {
+		t.Fatalf("cache-tier writes = %d, want %d (resident copy not updated)", got, cacheWrites+1)
+	}
+	if !b.resident(9) {
+		t.Fatal("writeback invalidated the resident copy")
+	}
+
+	// A non-resident line's writeback touches only the far tier.
+	if !b.IssueWriteback(9 + uint64(len(b.tags))) {
+		t.Fatal("writeback of non-resident line rejected")
+	}
+	eng.RunUntil(3_000_000)
+	if got := b.cacheChan[0].Stat.Writes; got != cacheWrites+1 {
+		t.Fatalf("non-resident writeback touched the cache tier (%d writes)", got)
+	}
+}

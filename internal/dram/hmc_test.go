@@ -1,0 +1,106 @@
+package dram
+
+import "testing"
+
+// The §10 HMC presets sit behind the same channel state machines as the
+// DIMM families, so their timing tables must satisfy the invariants the
+// model assumes rather than merely parse. These tests pin the ones that
+// matter: the fast cube is strictly faster than the low-power cube
+// everywhere the paper's sketch says it should be, both are packetized
+// (unified close-page) devices, and both survive Config.Validate.
+
+func TestHMCTimingInvariants(t *testing.T) {
+	fast, lp := HMCFastTiming(), HMCLPTiming()
+
+	// Link rate: the fast cube runs 1.6 GHz links (2 CPU cycles/bus
+	// cycle); the low-power cube halves the rate.
+	if fast.BusCycle != 2 {
+		t.Errorf("HMCFast BusCycle = %d, want 2", fast.BusCycle)
+	}
+	if lp.BusCycle != 2*fast.BusCycle {
+		t.Errorf("HMCLP BusCycle = %d, want half the fast link rate (%d)", lp.BusCycle, 2*fast.BusCycle)
+	}
+
+	// The fast cube must beat the low-power cube on every latency the
+	// critical path sees.
+	if fast.TRL >= lp.TRL {
+		t.Errorf("HMCFast TRL %d not faster than HMCLP %d", fast.TRL, lp.TRL)
+	}
+	if fast.TWL >= lp.TWL {
+		t.Errorf("HMCFast TWL %d not faster than HMCLP %d", fast.TWL, lp.TWL)
+	}
+	if fast.TRC >= lp.TRC {
+		t.Errorf("HMCFast TRC %d not faster than HMCLP %d", fast.TRC, lp.TRC)
+	}
+
+	// Vault controllers hide row management behind the packet
+	// interface: no exposed ACT-to-CAS phase, no FAW, no refresh in the
+	// model.
+	for _, c := range []struct {
+		name string
+		tm   Timing
+	}{{"HMCFast", fast}, {"HMCLP", lp}} {
+		if c.tm.TRCD != 0 || c.tm.TFAW != 0 || c.tm.TREFI != 0 {
+			t.Errorf("%s exposes row timing (TRCD=%d TFAW=%d TREFI=%d), want packetized zeroes",
+				c.name, c.tm.TRCD, c.tm.TFAW, c.tm.TREFI)
+		}
+		if c.tm.Burst <= 0 {
+			t.Errorf("%s Burst = %d, want positive", c.name, c.tm.Burst)
+		}
+	}
+
+	// Link power-state exit is the slow part of HMC sleep (§10); both
+	// cubes must pay more to wake than any DIMM family.
+	if fast.TXP <= DDR3Timing().TXP || lp.TXP <= LPDDR2Timing().TXP {
+		t.Errorf("HMC TXP (fast=%d lp=%d) should exceed DIMM exit latencies", fast.TXP, lp.TXP)
+	}
+}
+
+func TestHMCConfigsValidateAndUnified(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		cfg  Config
+		kind Kind
+	}{
+		{"HMCFastWordConfig", HMCFastWordConfig(), HMCFast},
+		{"HMCLPLineConfig", HMCLPLineConfig(), HMCLP},
+	} {
+		if err := c.cfg.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", c.name, err)
+		}
+		if !c.cfg.Unified() {
+			t.Errorf("%s: not Unified(); HMC vaults take single-command packet accesses", c.name)
+		}
+		if c.cfg.Kind != c.kind {
+			t.Errorf("%s: Kind = %v, want %v", c.name, c.cfg.Kind, c.kind)
+		}
+	}
+}
+
+func TestKindRegistryRoundTrip(t *testing.T) {
+	kinds := []Kind{DDR3, LPDDR2, RLDRAM3, HMCFast, HMCLP}
+	if len(kinds) != len(KindNames()) {
+		t.Fatalf("registry has %d tokens, test covers %d kinds — extend both", len(KindNames()), len(kinds))
+	}
+	for _, k := range kinds {
+		tok := KindToken(k)
+		got, err := ParseKind(tok)
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", tok, err)
+			continue
+		}
+		if got != k {
+			t.Errorf("ParseKind(KindToken(%v)) = %v", k, got)
+		}
+		// Case-insensitive: the String() spelling parses too.
+		if got, err := ParseKind(k.String()); err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", k.String(), got, err, k)
+		}
+	}
+	if _, err := ParseKind("ddr5"); err == nil {
+		t.Error("ParseKind(ddr5) accepted an unknown family")
+	}
+	if HMCFast.String() != "HMC-fast" || HMCLP.String() != "HMC-lp" {
+		t.Errorf("HMC String() = %q, %q", HMCFast.String(), HMCLP.String())
+	}
+}

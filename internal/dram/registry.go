@@ -1,0 +1,47 @@
+package dram
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The kind registry maps between Kind values and the lowercase tokens
+// used in topology strings ("crit:rldram3x1+line:lpddr2x4") and CLI
+// flags. Tokens are the String() names lowercased; parsing is
+// case-insensitive so "RLDRAM3" and "rldram3" both resolve.
+
+// kindTokens is the single source of truth for the textual vocabulary.
+// Adding a device family means adding one row here; ParseKind,
+// KindToken and KindNames all derive from it.
+var kindTokens = map[string]Kind{
+	"ddr3":     DDR3,
+	"lpddr2":   LPDDR2,
+	"rldram3":  RLDRAM3,
+	"hmc-fast": HMCFast,
+	"hmc-lp":   HMCLP,
+}
+
+// KindToken returns the canonical lowercase token for a device family,
+// as used in topology specs and flag values.
+func KindToken(k Kind) string { return strings.ToLower(k.String()) }
+
+// ParseKind resolves a device-family token (case-insensitive) to its
+// Kind. Unknown tokens list the vocabulary in the error.
+func ParseKind(s string) (Kind, error) {
+	if k, ok := kindTokens[strings.ToLower(s)]; ok {
+		return k, nil
+	}
+	return 0, fmt.Errorf("dram: unknown device kind %q (known: %s)",
+		s, strings.Join(KindNames(), ", "))
+}
+
+// KindNames returns every registered device token, sorted.
+func KindNames() []string {
+	names := make([]string, 0, len(kindTokens))
+	for n := range kindTokens {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -9,10 +9,12 @@ package grid
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
 	"hetsim/internal/core"
+	"hetsim/internal/topology"
 )
 
 // Config maps a CLI configuration name to its SystemConfig.
@@ -47,6 +49,10 @@ func Config(name string, cores int) (core.SystemConfig, error) {
 		return cfg, nil
 	case "hmc":
 		return core.HMCHetero(cores), nil
+	case "hmc-mix":
+		return core.HMCMix(cores), nil
+	case "dram-cache":
+		return core.DRAMCached(cores), nil
 	default:
 		return core.SystemConfig{}, fmt.Errorf("unknown config %q", name)
 	}
@@ -56,7 +62,64 @@ func Config(name string, cores int) (core.SystemConfig, error) {
 // and API error messages).
 func ConfigNames() []string {
 	return []string{"baseline", "lpddr2", "rldram3", "rd", "rl", "dl",
-		"rl-ad", "rl-or", "rl-random", "hmc"}
+		"rl-ad", "rl-or", "rl-random", "hmc", "hmc-mix", "dram-cache"}
+}
+
+// topologyNames maps the named organizations a -topology flag accepts
+// to their specs; anything else is parsed as a raw spec string.
+var topologyNames = map[string]string{
+	"unified-ddr3":    "unified:ddr3x4",
+	"unified-lpddr2":  "unified:lpddr2x4",
+	"unified-rldram3": "unified:rldram3x4",
+	"cwf-rl":          "crit:rldram3x4+line:lpddr2x4",
+	"cwf-rd":          "crit:rldram3x4+line:ddr3x4",
+	"cwf-dl":          "crit:ddr3x4+line:lpddr2x4",
+	"hmc-mix":         "crit:hmc-fastx4+line:hmc-lpx4",
+	"dram-cache":      "cache-tier:rldram3x1:cap=64+far-tier:lpddr2x4",
+}
+
+// TopologyNames lists the named topologies ParseTopology accepts (for
+// usage text and client-side validation), sorted.
+func TopologyNames() []string {
+	names := make([]string, 0, len(topologyNames))
+	for n := range topologyNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseTopology resolves a -topology flag value: a named organization
+// from TopologyNames, or a raw spec string such as
+// "crit:rldram3x4+line:lpddr2x4". The returned spec is validated and
+// normalized.
+func ParseTopology(s string) (topology.Spec, error) {
+	if raw, ok := topologyNames[strings.ToLower(strings.TrimSpace(s))]; ok {
+		s = raw
+	}
+	spec, err := topology.Parse(s)
+	if err != nil {
+		return topology.Spec{}, fmt.Errorf("grid: topology %q: %w (named topologies: %s)",
+			s, err, strings.Join(TopologyNames(), "|"))
+	}
+	return spec, nil
+}
+
+// ApplyTopology overrides cfg's memory organization with an explicit
+// topology spec, clearing the legacy organization fields it subsumes
+// and folding the canonical spec into cfg.Name so rows and cache index
+// entries stay self-describing.
+func ApplyTopology(cfg *core.SystemConfig, s string) error {
+	spec, err := ParseTopology(s)
+	if err != nil {
+		return err
+	}
+	cfg.Split, cfg.CritKind, cfg.LineKind = false, 0, 0
+	cfg.PrivateCritCmdBus, cfg.WideCritRank = false, false
+	cfg.PagePlacement, cfg.HotPages = false, nil
+	cfg.Topology = &spec
+	cfg.Name = fmt.Sprintf("%s[topology=%s]", cfg.Name, spec.Canonical())
+	return nil
 }
 
 // Scale maps a CLI scale name to its RunScale.
@@ -68,8 +131,10 @@ func Scale(name string) (core.RunScale, error) {
 		return core.BenchScale(), nil
 	case "paper":
 		return core.PaperScale(), nil
+	case "quick":
+		return core.QuickScale(), nil
 	default:
-		return core.RunScale{}, fmt.Errorf("unknown scale %q (test|bench|paper)", name)
+		return core.RunScale{}, fmt.Errorf("unknown scale %q (quick|test|bench|paper)", name)
 	}
 }
 

@@ -30,7 +30,7 @@ func TestConfigNamesAllResolve(t *testing.T) {
 }
 
 func TestScaleNames(t *testing.T) {
-	for _, name := range []string{"test", "bench", "paper"} {
+	for _, name := range []string{"quick", "test", "bench", "paper"} {
 		s, err := Scale(name)
 		if err != nil {
 			t.Fatalf("Scale(%q): %v", name, err)
@@ -81,5 +81,72 @@ func TestApply(t *testing.T) {
 	}
 	if err := Apply(&cfg, &sc, "robsize", "not-a-number"); err == nil {
 		t.Fatal("malformed value accepted")
+	}
+}
+
+func TestTopologyNamesAllResolve(t *testing.T) {
+	for _, name := range TopologyNames() {
+		spec, err := ParseTopology(name)
+		if err != nil {
+			t.Fatalf("ParseTopology(%q): %v", name, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseTopology(%q) invalid: %v", name, err)
+		}
+		if _, err := ParseTopology(strings.ToUpper(name)); err != nil {
+			t.Fatalf("ParseTopology(%q) not case-insensitive", name)
+		}
+	}
+	// The named CWF organizations must match the boolean presets they
+	// stand for, so a -topology run shares cache entries with the named
+	// config's runs.
+	for name, mk := range map[string]func(int) core.SystemConfig{
+		"cwf-rl": core.RL, "cwf-rd": core.RD, "cwf-dl": core.DL,
+		"unified-ddr3": core.Baseline, "hmc-mix": core.HMCMix,
+	} {
+		spec, err := ParseTopology(name)
+		if err != nil {
+			t.Fatalf("ParseTopology(%q): %v", name, err)
+		}
+		want, _ := mk(8).EffectiveTopology()
+		if spec.Canonical() != want.Canonical() {
+			t.Errorf("topology %q = %s, preset has %s", name, spec.Canonical(), want.Canonical())
+		}
+	}
+}
+
+func TestParseTopologyRawSpec(t *testing.T) {
+	spec, err := ParseTopology("crit:ddr3x2+line:lpddr2x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.Canonical(); got != "crit:ddr3x2+line:lpddr2x4" {
+		t.Fatalf("raw spec canonicalized to %q", got)
+	}
+	if _, err := ParseTopology("crit:ddr5x4+line:lpddr2x4"); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+	if _, err := ParseTopology(""); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+}
+
+func TestApplyTopology(t *testing.T) {
+	cfg := core.RL(8)
+	if err := ApplyTopology(&cfg, "dram-cache"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology == nil || cfg.Split || cfg.PrivateCritCmdBus || cfg.WideCritRank {
+		t.Fatalf("legacy organization fields not cleared: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("applied config invalid: %v", err)
+	}
+	want := "RL[topology=cache-tier:rldram3x1:cap=64+far-tier:lpddr2x4]"
+	if cfg.Name != want {
+		t.Fatalf("name = %q, want %q", cfg.Name, want)
+	}
+	if err := ApplyTopology(&cfg, "crit:nonsense"); err == nil {
+		t.Fatal("malformed topology accepted")
 	}
 }
