@@ -1,15 +1,22 @@
 // Command benchjson converts `go test -bench` text output on stdin into
 // a stable JSON document, so benchmark baselines can be committed and
-// diffed (see `make bench-json`, which writes BENCH_kernel.json).
+// diffed (see `make bench-json`, which writes BENCH_kernel.json), and
+// compares two such documents for time regressions.
 //
 // Usage:
 //
 //	go test -bench Kernel -benchmem ./... | benchjson > BENCH_kernel.json
+//	benchjson -compare -tolerance 0.15 BENCH_kernel.json new.json
+//
+// In -compare mode the exit status is 1 when any benchmark's ns/op grew
+// by more than the tolerance fraction over the old document (CI uses
+// this as a warn-only soft gate against the committed baselines).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -71,7 +78,87 @@ func run(r io.Reader, w io.Writer) error {
 	return enc.Encode(doc)
 }
 
+// readDoc loads one committed baseline document.
+func readDoc(path string) (Doc, error) {
+	var doc Doc
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// compare reports the ns/op delta of every benchmark present in both
+// documents and returns the number of regressions: benchmarks whose
+// time grew by more than the tolerance fraction. Benchmarks missing
+// from either side are reported but never count as regressions — a
+// renamed or retired benchmark should not trip the gate.
+func compare(old, new Doc, tolerance float64, w io.Writer) int {
+	oldByName := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldByName[b.Name] = b
+	}
+	seen := make(map[string]bool, len(new.Benchmarks))
+	regressions := 0
+	for _, nb := range new.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s new benchmark (no baseline)\n", nb.Name)
+			continue
+		}
+		was, now := ob.Metrics["ns/op"], nb.Metrics["ns/op"]
+		if was <= 0 {
+			fmt.Fprintf(w, "%-40s baseline has no ns/op\n", nb.Name)
+			continue
+		}
+		delta := now/was - 1
+		verdict := "ok"
+		if delta > tolerance {
+			verdict = fmt.Sprintf("REGRESSION (tolerance %.0f%%)", tolerance*100)
+			regressions++
+		}
+		fmt.Fprintf(w, "%-40s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			nb.Name, was, now, delta*100, verdict)
+	}
+	for _, ob := range old.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "%-40s missing from new run\n", ob.Name)
+		}
+	}
+	return regressions
+}
+
 func main() {
+	cmp := flag.Bool("compare", false, "compare two benchmark JSON documents: benchjson -compare [-tolerance f] old.json new.json")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op growth before -compare reports a regression")
+	flag.Parse()
+
+	if *cmp {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		old, err := readDoc(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		new, err := readDoc(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if n := compare(old, new, *tolerance, os.Stdout); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%\n", n, *tolerance*100)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

@@ -55,6 +55,61 @@ func TestRunDeterministicOutput(t *testing.T) {
 	}
 }
 
+// mkDoc builds a document of name -> ns/op pairs for compare tests.
+func mkDoc(nsops map[string]float64) Doc {
+	doc := Doc{Benchmarks: []Benchmark{}}
+	for name, v := range nsops {
+		doc.Benchmarks = append(doc.Benchmarks,
+			Benchmark{Name: name, Iters: 1, Metrics: map[string]float64{"ns/op": v}})
+	}
+	return doc
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := mkDoc(map[string]float64{
+		"BenchmarkFast": 100, "BenchmarkSlow": 1000, "BenchmarkGone": 50})
+	new := mkDoc(map[string]float64{
+		"BenchmarkFast": 114,  // +14%: inside a 15% tolerance
+		"BenchmarkSlow": 1300, // +30%: regression
+		"BenchmarkNew":  7,    // no baseline: reported, not counted
+	})
+	var out bytes.Buffer
+	if n := compare(old, new, 0.15, &out); n != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", n, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{
+		"BenchmarkSlow", "REGRESSION",
+		"BenchmarkNew", "no baseline",
+		"BenchmarkGone", "missing from new run",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report lacks %q:\n%s", want, report)
+		}
+	}
+	if strings.Count(report, "REGRESSION") != 1 {
+		t.Errorf("only BenchmarkSlow should regress:\n%s", report)
+	}
+}
+
+func TestCompareTolerance(t *testing.T) {
+	old := mkDoc(map[string]float64{"BenchmarkX": 100})
+	var out bytes.Buffer
+	// Exactly at tolerance passes; just beyond fails. Improvements and
+	// identical times always pass.
+	for _, tc := range []struct {
+		now, tol float64
+		want     int
+	}{{115, 0.15, 0}, {116, 0.15, 1}, {100, 0, 0}, {101, 0, 1}, {60, 0.15, 0}} {
+		out.Reset()
+		got := compare(old, mkDoc(map[string]float64{"BenchmarkX": tc.now}), tc.tol, &out)
+		if got != tc.want {
+			t.Errorf("ns/op 100->%v tol %v: regressions = %d, want %d",
+				tc.now, tc.tol, got, tc.want)
+		}
+	}
+}
+
 func TestRunIgnoresNoise(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(strings.NewReader("PASS\nok x 1s\nBenchmarkBad notanint\n"), &out); err != nil {

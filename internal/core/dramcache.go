@@ -19,10 +19,13 @@ import (
 // tier, plus the cache tier when the line is resident), so evictions
 // never generate dirty traffic.
 //
-// The backend is serial-only: fills complete on the issuing
-// controller's events, and Run's lane-parallel path recognizes only the
-// split CWF organization, so Parallel configs silently fall back — the
-// same contract the homogeneous backend has.
+// The backend is lane-eligible: every channel (cache tier and far
+// tier alike) owns a private command bus, so each controller forms its
+// own bus group and advances on its own event lane under Parallel
+// configs. Cross-tier interaction happens exclusively in main context —
+// IssueFill routes on the resident tag before any lane runs, and the
+// install write of farDone is enqueued from the completion event on the
+// main queue — so no lane ever reads another tier's in-window state.
 type dramCacheBackend struct {
 	eng       *sim.Engine
 	cacheCtrl []*memctrl.Controller
@@ -37,7 +40,6 @@ type dramCacheBackend struct {
 	tags []uint64
 
 	sink fillSink
-	pool memctrl.Pool
 
 	hitIssuedFn func(*memctrl.Request)
 	hitDoneFn   func(*memctrl.Request)
@@ -77,7 +79,10 @@ func newDRAMCache(eng *sim.Engine, cacheCfg dram.Config, nCache, capMB int, farC
 		mc := memctrl.DefaultConfig(cacheCfg.Kind)
 		mc.DeepSleep = deepSleep
 		ctrl := memctrl.New(eng, ch, mc)
-		ctrl.Pool = &b.pool
+		// Per-controller pools: posted writes return their request from
+		// inside the owning controller's lane, and every controller here
+		// may run on its own lane (see laneFallback).
+		ctrl.Pool = new(memctrl.Pool)
 		b.cacheChan = append(b.cacheChan, ch)
 		b.cacheCtrl = append(b.cacheCtrl, ctrl)
 	}
@@ -86,7 +91,7 @@ func newDRAMCache(eng *sim.Engine, cacheCfg dram.Config, nCache, capMB int, farC
 		mc := memctrl.DefaultConfig(farCfg.Kind)
 		mc.DeepSleep = deepSleep
 		ctrl := memctrl.New(eng, ch, mc)
-		ctrl.Pool = &b.pool
+		ctrl.Pool = new(memctrl.Pool)
 		b.farChan = append(b.farChan, ch)
 		b.farCtrl = append(b.farCtrl, ctrl)
 	}
@@ -145,11 +150,15 @@ func (b *dramCacheBackend) CanAcceptPrefetch(lineAddr uint64) bool {
 
 // hitIssued schedules critical-beat delivery of a cache-tier read: the
 // burst is reordered so the requested word leads, as on any
-// conventional line channel.
+// conventional line channel. It runs in the issuing controller's lane
+// context (OnIssue fires inside the dispatch), so the deliveries go
+// through that controller's lane as cross-domain emissions — the beat
+// is at least TRL+1 past the issue cycle, the lane's lookahead.
 func (b *dramCacheBackend) hitIssued(r *memctrl.Request) {
 	beat := firstBeat(r, b.cacheChan[r.Tag])
-	b.eng.ScheduleEventAt(beat, b.critH, r)
-	b.eng.ScheduleEventAt(beat, b.reqWordH, r)
+	ln := b.cacheCtrl[r.Tag].Ln
+	ln.ScheduleMainEventAt(beat, b.critH, r)
+	ln.ScheduleMainEventAt(beat, b.reqWordH, r)
 }
 
 func (b *dramCacheBackend) hitDone(r *memctrl.Request) {
@@ -159,8 +168,9 @@ func (b *dramCacheBackend) hitDone(r *memctrl.Request) {
 // farIssued schedules critical-beat delivery of a far-tier read.
 func (b *dramCacheBackend) farIssued(r *memctrl.Request) {
 	beat := firstBeat(r, b.farChan[r.Tag])
-	b.eng.ScheduleEventAt(beat, b.critH, r)
-	b.eng.ScheduleEventAt(beat, b.reqWordH, r)
+	ln := b.farCtrl[r.Tag].Ln
+	ln.ScheduleMainEventAt(beat, b.critH, r)
+	ln.ScheduleMainEventAt(beat, b.reqWordH, r)
 }
 
 // farDone installs the missed line into its set (claiming it from
@@ -173,40 +183,43 @@ func (b *dramCacheBackend) farDone(r *memctrl.Request) {
 	e := entryOf(r)
 	set, ch, local := b.set(e.LineAddr)
 	if b.cacheCtrl[ch].CanAcceptWrite() {
-		w := b.pool.Get()
+		w := b.cacheCtrl[ch].Pool.Get()
 		w.Addr = local
 		if b.cacheCtrl[ch].EnqueueWrite(w) {
 			b.tags[set] = e.LineAddr + 1
 		} else {
-			b.pool.Put(w)
+			b.cacheCtrl[ch].Pool.Put(w)
 		}
 	}
 	b.sink.onLine(e)
 }
 
 func (b *dramCacheBackend) IssueFill(e *cache.Entry) bool {
-	req := b.pool.Get()
-	req.Prefetch = e.Prefetch
-	req.Ctx = e
 	if b.resident(e.LineAddr) {
 		_, ch, local := b.set(e.LineAddr)
+		req := b.cacheCtrl[ch].Pool.Get()
+		req.Prefetch = e.Prefetch
+		req.Ctx = e
 		req.Addr = local
 		req.Tag = ch
 		req.OnIssue = b.hitIssuedFn
 		req.OnComplete = b.hitDoneFn
 		if !b.cacheCtrl[ch].EnqueueRead(req) {
-			b.pool.Put(req)
+			b.cacheCtrl[ch].Pool.Put(req)
 			return false
 		}
 		return true
 	}
 	ch, local := b.far(e.LineAddr)
+	req := b.farCtrl[ch].Pool.Get()
+	req.Prefetch = e.Prefetch
+	req.Ctx = e
 	req.Addr = local
 	req.Tag = ch
 	req.OnIssue = b.farIssuedFn
 	req.OnComplete = b.farDoneFn
 	if !b.farCtrl[ch].EnqueueRead(req) {
-		b.pool.Put(req)
+		b.farCtrl[ch].Pool.Put(req)
 		return false
 	}
 	return true
@@ -232,14 +245,14 @@ func (b *dramCacheBackend) IssueWriteback(lineAddr uint64) bool {
 	}
 	if b.resident(lineAddr) {
 		_, ch, local := b.set(lineAddr)
-		w := b.pool.Get()
+		w := b.cacheCtrl[ch].Pool.Get()
 		w.Addr = local
 		if !b.cacheCtrl[ch].EnqueueWrite(w) {
 			panic("core: cache-tier write enqueue failed after capacity check")
 		}
 	}
 	ch, local := b.far(lineAddr)
-	req := b.pool.Get()
+	req := b.farCtrl[ch].Pool.Get()
 	req.Addr = local
 	if !b.farCtrl[ch].EnqueueWrite(req) {
 		panic("core: far-tier write enqueue failed after capacity check")
@@ -251,3 +264,24 @@ func (b *dramCacheBackend) IssueWriteback(lineAddr uint64) bool {
 func (b *dramCacheBackend) DegradeCrit() {}
 
 func (b *dramCacheBackend) Groups() []ChannelGroup { return b.groups }
+
+// allCtrls lists every controller in the fixed cache-then-far order the
+// lane partition is derived from.
+func (b *dramCacheBackend) allCtrls() []*memctrl.Controller {
+	out := make([]*memctrl.Controller, 0, len(b.cacheCtrl)+len(b.farCtrl))
+	out = append(out, b.cacheCtrl...)
+	return append(out, b.farCtrl...)
+}
+
+// laneFallback reports why the organization cannot run on event lanes
+// ("" when it can). The tiers interact only in main context (tag
+// routing at IssueFill, the install write at farDone), so every bus
+// group — here one per channel, since all buses are private — may
+// advance on its own lane.
+func (b *dramCacheBackend) laneFallback() string { return laneFallbackOf(b.allCtrls()) }
+
+// parallelizable mirrors cwfBackend's affirmative spelling.
+func (b *dramCacheBackend) parallelizable() bool { return b.laneFallback() == "" }
+
+// enableParallel moves every bus group onto its own event lane.
+func (b *dramCacheBackend) enableParallel() { enableLanes(b.eng, b.allCtrls()) }

@@ -32,7 +32,7 @@ func runParMode(t *testing.T, cfg SystemConfig, bench string, parallel bool) (Re
 	res := sys.Run(RunScale{WarmupReads: 150, MeasureReads: 900,
 		MaxCycles: 20_000_000, EpochInterval: 20_000})
 	if parallel {
-		if cw, ok := sys.mem.(*cwfBackend); ok && cw.parallelizable() && sys.Eng.WindowsRun() == 0 {
+		if pb, ok := sys.mem.(parallelBackend); ok && pb.laneFallback() == "" && sys.Eng.WindowsRun() == 0 {
 			t.Fatal("parallel run executed zero windows — the differential is vacuous")
 		}
 	}
@@ -73,23 +73,23 @@ func TestSystemParallelDifferential(t *testing.T) {
 		{"rl-crit-faults", faulty, "libquantum", true},
 		{"rl-dimm-dead", dimmDead, "libquantum", true},
 		// Topology-only organizations: the HMC mix is CWF-shaped and
-		// lane-eligible; the DRAM-cache backend is serial-only and must
-		// fall back byte-identically.
+		// lane-eligible, and the DRAM-cache tiers now run on per-channel
+		// lanes too (the tag install write crosses tiers through main
+		// context only, so the byte-identity contract holds there as
+		// well). Only the conventional line organization falls back.
 		{"hmc-mix-topology", HMCMix(2), "libquantum", true},
-		{"dram-cache-falls-back", DRAMCached(2), "mcf", false},
+		{"dram-cache-lanes", DRAMCached(2), "mcf", true},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			if cw, ok := func() (*cwfBackend, bool) {
-				sys, err := NewSystem(tc.cfg, mustSpec(t, tc.bench))
-				if err != nil {
-					t.Fatal(err)
-				}
-				b, ok := sys.mem.(*cwfBackend)
-				return b, ok
-			}(); ok != tc.eligible || (ok && cw.parallelizable() != tc.eligible) {
-				t.Fatalf("eligibility mismatch: case declared eligible=%v", tc.eligible)
+			sys, err := NewSystem(tc.cfg, mustSpec(t, tc.bench))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eligible := sys.ParallelFallback() == ""; eligible != tc.eligible {
+				t.Fatalf("eligibility mismatch: case declared eligible=%v, ParallelFallback=%q",
+					tc.eligible, sys.ParallelFallback())
 			}
 			refRes, refRecs, refEpochs := runParMode(t, tc.cfg, tc.bench, false)
 			gotRes, gotRecs, gotEpochs := runParMode(t, tc.cfg, tc.bench, true)
@@ -128,6 +128,63 @@ func TestSystemParallelDifferential(t *testing.T) {
 				t.Errorf("epoch streams diverged (%d vs %d bytes)", len(refEpochs), len(gotEpochs))
 			}
 		})
+	}
+}
+
+// TestParallelFallbackReasons pins the observable serial-fallback
+// reason of every ineligible configuration class — and that the
+// organizations the lane widening targets (DRAM-cache tiers, shared
+// crit command bus) report eligibility, not a fallback.
+func TestParallelFallbackReasons(t *testing.T) {
+	newSys := func(cfg SystemConfig, bench string) *System {
+		t.Helper()
+		sys, err := NewSystem(cfg, mustSpec(t, bench))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+
+	// Conventional line organizations have no lane-capable backend.
+	for _, cfg := range []SystemConfig{Baseline(2), HomogeneousLPDDR2(2), HomogeneousRLDRAM3(2)} {
+		if got := newSys(cfg, "libquantum").ParallelFallback(); got != FallbackSerialBackend {
+			t.Errorf("%s: fallback = %q, want %q", cfg.Name, got, FallbackSerialBackend)
+		}
+	}
+
+	// The widened classes are eligible: split CWF with the default
+	// shared crit command bus, the private-bus ablation, the HMC mix,
+	// and the DRAM-cache tier organization.
+	privBus := RL(2)
+	privBus.PrivateCritCmdBus = true
+	for _, cfg := range []SystemConfig{RL(2), privBus, HMCMix(2), DRAMCached(2)} {
+		if got := newSys(cfg, "libquantum").ParallelFallback(); got != "" {
+			t.Errorf("%s: fallback = %q, want lane-eligible", cfg.Name, got)
+		}
+	}
+
+	// Per-cycle ticking disqualifies either backend kind.
+	sys := newSys(RL(2), "libquantum")
+	sys.mem.(*cwfBackend).critCtrl[0].Cfg.PerCycle = true
+	if got := sys.ParallelFallback(); got != FallbackPerCycle {
+		t.Errorf("per-cycle CWF: fallback = %q, want %q", got, FallbackPerCycle)
+	}
+	sys = newSys(DRAMCached(2), "libquantum")
+	sys.mem.(*dramCacheBackend).farCtrl[0].Cfg.PerCycle = true
+	if got := sys.ParallelFallback(); got != FallbackPerCycle {
+		t.Errorf("per-cycle dram-cache: fallback = %q, want %q", got, FallbackPerCycle)
+	}
+
+	// A topology whose channels all hang off one command bus collapses
+	// to a single lane group — nothing to run in parallel. (No named
+	// config builds this; rewire the buses to exercise the partition.)
+	sys = newSys(RL(2), "libquantum")
+	cw := sys.mem.(*cwfBackend)
+	for _, ch := range cw.lineChan {
+		ch.Cmd = cw.sharedCmd
+	}
+	if got := sys.ParallelFallback(); got != FallbackSingleLane {
+		t.Errorf("single bus group: fallback = %q, want %q", got, FallbackSingleLane)
 	}
 }
 

@@ -103,6 +103,7 @@ func (s *System) registerMetrics() {
 	s.Reg = reg
 	eng := s.Eng
 	reg.Accum("sim.events", func() float64 { return float64(eng.EventsFired()) })
+	reg.Gauge("sim.lane_fallback", s.laneFallbackCode)
 	for i, c := range s.Cores {
 		c.RegisterMetrics(reg, fmt.Sprintf("cpu%d.", i))
 	}
@@ -411,16 +412,47 @@ func (r Results) Clone() Results {
 	return out
 }
 
+// ParallelFallback reports why a Run with Cfg.Parallel would fall back
+// to the single-threaded kernel — one of the Fallback* reasons — or ""
+// when the memory organization is lane-eligible. The answer is a
+// property of the built backend, independent of whether Parallel is
+// actually set, so tools can report eligibility without running.
+func (s *System) ParallelFallback() string {
+	pb, ok := s.mem.(parallelBackend)
+	if !ok {
+		return FallbackSerialBackend
+	}
+	return pb.laneFallback()
+}
+
+// laneFallbackCode encodes ParallelFallback for the telemetry registry:
+// 0 lane-eligible, 1 serial-only backend, 2 per-cycle ticking, 3 single
+// bus group. The code describes eligibility, not engagement, so it is
+// identical between a serial and a parallel run of the same config —
+// which the parallel differential's byte-identity check requires.
+func (s *System) laneFallbackCode() float64 {
+	switch s.ParallelFallback() {
+	case "":
+		return 0
+	case FallbackSerialBackend:
+		return 1
+	case FallbackPerCycle:
+		return 2
+	default:
+		return 3
+	}
+}
+
 // Run executes prewarm, warmup, then a measured window.
 func (s *System) Run(scale RunScale) Results {
 	if s.Cfg.Parallel {
-		if cw, ok := s.mem.(*cwfBackend); ok && cw.parallelizable() {
+		if pb, ok := s.mem.(parallelBackend); ok && pb.laneFallback() == "" {
 			// Lanes live for the span of one Run: created here (so a
 			// System that is built but never run spawns no goroutines)
 			// and stopped on the way out, which folds any remaining lane
 			// events back into the main queue — a subsequent Run simply
 			// re-enables them.
-			cw.enableParallel()
+			pb.enableParallel()
 			s.parallel = true
 			s.Eng.EnableYield(true)
 			defer func() {

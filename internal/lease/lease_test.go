@@ -228,14 +228,27 @@ func TestHeartbeatKeepsLeaseAndReportsLoss(t *testing.T) {
 	}
 
 	// Simulate a reclaim out from under the holder: replace the file.
+	// Loss detection is best-effort by design — a heartbeat renewal
+	// whose read-check ran just before the replacement can rewrite its
+	// own record over the injected one (safety then rests on fencing
+	// tokens, not the lease file). Re-inject each interval until the
+	// heartbeat notices, so a single unlucky overlap cannot hang the
+	// test (the 600ms sleep above is phase-locked to the 50ms ticker,
+	// which made that overlap reproducible on slow single-core hosts).
 	l2 := &Lease{m: m2, key: "cell", path: filepath.Join(dir, "cell.lease"), Token: 99}
 	rec := record{Owner: "w2", Token: 99, HeartbeatUnixNano: time.Now().UnixNano(),
 		TTLNano: int64(time.Minute)}
-	writeTestRecord(t, l2.path, rec)
-	select {
-	case <-lost:
-	case <-time.After(2 * time.Second):
-		t.Fatal("heartbeat never noticed the loss")
+	deadline := time.After(5 * time.Second)
+	noticed := false
+	for !noticed {
+		writeTestRecord(t, l2.path, rec)
+		select {
+		case <-lost:
+			noticed = true
+		case <-deadline:
+			t.Fatal("heartbeat never noticed the loss")
+		case <-time.After(60 * time.Millisecond):
+		}
 	}
 	close(stop)
 }

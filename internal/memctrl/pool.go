@@ -12,9 +12,11 @@ const poolSlabSize = 64
 // (instead of one heap object each) keeps the live set packed so the
 // controller's queue walks hit adjacent cache lines. A plain slice (not
 // sync.Pool) makes reuse order — and therefore every run — bit-for-bit
-// reproducible, and each pool is confined to one goroutine (the engine
-// when serial; one controller domain's lane under parallel execution)
-// so no locking is needed.
+// reproducible, and no locking is needed because each pool belongs to
+// exactly one controller: Gets (and read-completion Puts) happen in
+// main engine context, posted-write Puts inside the owning controller's
+// lane window, and the window handoff orders the two — main context
+// never runs while a window is open.
 //
 // A Controller with a non-nil Pool returns each request to it as soon as
 // the request is dead: at issue for posted writes, after the completion

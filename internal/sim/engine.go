@@ -90,6 +90,15 @@ type Engine struct {
 	lastPhase  uint64
 	dispatches int // >0 while inside an event handler
 
+	// Timing wheel fronting the heap for near-future events (wheel.go).
+	// Inactive (and empty) while lanes exist.
+	wslots [wheelSpan]wheelSlot
+	wocc   [wheelSpan / 64]uint64
+	wbase  Cycle     // wheel window start; all wheel events in [wbase, wbase+wheelSpan)
+	wcount int       // events currently in the wheel
+	wminIx int       // cached bucket of the wheel minimum; -1 = rescan needed
+	wfree  [][]event // retained bucket arrays, shared across slots (zero steady-state alloc)
+
 	// Parallel lane execution (see lane.go). With no lanes the engine is
 	// the single-threaded kernel it always was; NewLane switches RunUntil
 	// onto the windowed parallel loop.
@@ -225,7 +234,7 @@ func (e *Engine) ScheduleEventAt(when Cycle, h EventHandler, arg any) {
 		panic("sim: event scheduled in the past")
 	}
 	e.seq++
-	e.push(event{when: when, seq: e.seq, h: h, arg: arg})
+	e.qPush(event{when: when, seq: e.seq, h: h, arg: arg})
 }
 
 // NewPhase allocates a fresh nonzero phase value, strictly greater than
@@ -252,7 +261,7 @@ func (e *Engine) SchedulePhasedAt(when Cycle, phase uint64, h PhasedHandler, arg
 		panic("sim: phased event needs a nonzero phase (use NewPhase)")
 	}
 	e.seq++
-	e.push(event{when: when, seq: e.seq, phase: phase, h: h, arg: arg})
+	e.qPush(event{when: when, seq: e.seq, phase: phase, h: h, arg: arg})
 }
 
 // InDispatch reports whether the caller is executing inside an event
@@ -266,7 +275,7 @@ func (e *Engine) InDispatch() bool { return e.dispatches > 0 }
 
 // Pending reports whether any events remain (across all lanes).
 func (e *Engine) Pending() bool {
-	if len(e.pq) > 0 {
+	if e.wcount > 0 || len(e.pq) > 0 {
 		return true
 	}
 	for _, l := range e.lanes {
@@ -279,7 +288,7 @@ func (e *Engine) Pending() bool {
 
 // Len reports the number of queued events across all lanes (diagnostics).
 func (e *Engine) Len() int {
-	n := len(e.pq)
+	n := e.wcount + len(e.pq)
 	for _, l := range e.lanes {
 		n += len(l.pq)
 	}
@@ -289,8 +298,8 @@ func (e *Engine) Len() int {
 // PeekNext returns the time of the next event across all lanes; ok is
 // false if none remain.
 func (e *Engine) PeekNext() (when Cycle, ok bool) {
-	if len(e.pq) > 0 {
-		when, ok = e.pq[0].when, true
+	if top := e.qPeek(); top != nil {
+		when, ok = top.when, true
 	}
 	for _, l := range e.lanes {
 		if len(l.pq) > 0 && (!ok || l.pq[0].when < when) {
@@ -317,8 +326,12 @@ func (e *Engine) RunUntil(end Cycle) uint64 {
 	}
 	var n uint64
 	var burst int
-	for len(e.pq) > 0 && e.pq[0].when <= end {
-		ev := e.pop()
+	for {
+		top := e.qPeek()
+		if top == nil || top.when > end {
+			break
+		}
+		ev := e.qPop()
 		if ev.when > e.now {
 			e.now = ev.when
 			burst = 0
@@ -329,7 +342,7 @@ func (e *Engine) RunUntil(end Cycle) uint64 {
 		if burst++; burst > sameCycleEventLimit {
 			panic(fmt.Sprintf(
 				"sim: watchdog: %d events executed at cycle %d without time advancing (queue=%d) — a handler is rescheduling itself at zero delay",
-				burst, e.now, len(e.pq)))
+				burst, e.now, e.wcount+len(e.pq)))
 		}
 	}
 	if e.now < end {
@@ -341,12 +354,17 @@ func (e *Engine) RunUntil(end Cycle) uint64 {
 // Step executes all events scheduled at the single next event time and
 // advances the clock to it. It reports false when no events remain.
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+	top := e.qPeek()
+	if top == nil {
 		return false
 	}
-	t := e.pq[0].when
-	for len(e.pq) > 0 && e.pq[0].when == t {
-		ev := e.pop()
+	t := top.when
+	for {
+		top := e.qPeek()
+		if top == nil || top.when != t {
+			break
+		}
+		ev := e.qPop()
 		e.now = t
 		e.dispatch(&ev)
 		e.fired++

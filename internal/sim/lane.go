@@ -143,6 +143,9 @@ func (e *Engine) NewLane(minLead Cycle) *Lane {
 	if minLead < 1 {
 		panic("sim: lane lookahead must be at least 1 cycle")
 	}
+	// The parallel loop works on the main heap directly, so the wheel
+	// fast path shuts off while lanes exist: drain it into the heap.
+	e.flushWheel()
 	l := &Lane{
 		eng:     e,
 		id:      len(e.lanes),
